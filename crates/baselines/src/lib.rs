@@ -1,0 +1,33 @@
+//! IPC baselines and dIPC micro-benchmark workloads.
+//!
+//! Every primitive the paper's evaluation compares (§2.2, §7.2) is built
+//! here as a real workload on the simulated machine:
+//!
+//! * [`micro`] — the reference points: a plain function call (< 2 ns) and a
+//!   null system call (≈ 34 ns).
+//! * [`sem`] — POSIX-semaphore IPC (futex + shared memory), same-CPU and
+//!   cross-CPU.
+//! * [`pipe`] — pipe-based IPC with kernel copies.
+//! * [`rpc`] — local RPC in the style of glibc `rpcgen` over UNIX sockets:
+//!   XDR-ish marshalling, per-channel demultiplexing, reply path.
+//! * [`l4`] — L4-style synchronous direct-switch IPC with register
+//!   payloads.
+//! * [`dipcbench`] — dIPC calls: same-process and cross-process, Low/High
+//!   policies, plus the user-level RPC configuration of §7.2.
+//!
+//! All benchmarks share the measurement protocol in [`util`]: the client
+//! bumps an iteration counter in memory; the host runs the simulation until
+//! the counter crosses the warm-up mark, snapshots clocks and the Figure 2
+//! time breakdown, runs the measured iterations, and reports per-operation
+//! latency plus the breakdown delta.
+
+pub mod asmlib;
+pub mod dipcbench;
+pub mod l4;
+pub mod micro;
+pub mod pipe;
+pub mod rpc;
+pub mod sem;
+pub mod util;
+
+pub use util::{BenchResult, Placement};

@@ -1,0 +1,108 @@
+//! Pipe-based IPC: the kernel copies data in and out on both sides
+//! (argument immutability by copying, §2.2).
+
+use std::collections::HashMap;
+
+use cdvm::isa::reg::*;
+use cdvm::Asm;
+use dipc::System;
+use simkernel::KernelConfig;
+
+use crate::asmlib::{bump, read_exact, write_all};
+use crate::util::{make_pipe_pair, run_marked, BenchResult, Placement};
+
+/// Runs a pipe ping-pong: the client writes `arg_size` bytes, the server
+/// reads them all and answers with one byte.
+pub fn bench_pipe(iters: u64, placement: Placement, arg_size: u64) -> BenchResult {
+    let warmup = (iters / 10).max(8);
+    let cpus = if placement == Placement::CrossCpu { 2 } else { 1 };
+    let mut sys = System::new(KernelConfig { cpus, ..KernelConfig::default() });
+    let client = sys.k.create_process("pipe-client", false);
+    let server = sys.k.create_process("pipe-server", false);
+    let (cw, cr, sr, sw) = make_pipe_pair(&mut sys, client, server);
+
+    // Client: fill src, write_all, read 1-byte ack, bump counter.
+    let mut a = Asm::new();
+    a.li(S0, cw as u64);
+    a.li(S2, cr as u64);
+    a.li_sym(S3, "$buf");
+    a.li_sym(S4, "$counter");
+    a.li(S6, arg_size.max(1));
+    a.label("loop");
+    write_all(&mut a, S0, S3, S6, "c");
+    a.li(T3, 1);
+    read_exact(&mut a, S2, S3, T3, "c");
+    bump(&mut a, S4);
+    a.j("loop");
+    let client_prog = a.finish();
+
+    // Server: read_exact arg, write 1 byte back.
+    let mut a = Asm::new();
+    a.li(S0, sr as u64);
+    a.li(S2, sw as u64);
+    a.li_sym(S3, "$buf");
+    a.li(S6, arg_size.max(1));
+    a.label("loop");
+    read_exact(&mut a, S0, S3, S6, "s");
+    a.li(T3, 1);
+    write_all(&mut a, S2, S3, T3, "s");
+    a.j("loop");
+    let server_prog = a.finish();
+
+    let (ccpu, scpu) = placement.cpus();
+    let mut counter_info = (simmem::PageTableId(0), 0u64);
+    for (pid, prog, cpu, is_client) in
+        [(client, &client_prog, ccpu, true), (server, &server_prog, scpu, false)]
+    {
+        let buf = sys.k.alloc_mem(pid, arg_size.max(simmem::PAGE_SIZE), simmem::PageFlags::RW);
+        let counter = sys.k.alloc_mem(pid, simmem::PAGE_SIZE, simmem::PageFlags::RW);
+        let mut ex = HashMap::new();
+        ex.insert("$buf".to_string(), buf);
+        ex.insert("$counter".to_string(), counter);
+        let img = sys.k.load_program(pid, prog, &ex);
+        let tid = sys.k.spawn_thread(pid, img.base, &[]);
+        sys.k.pin_thread(tid, cpu);
+        if is_client {
+            counter_info = (sys.k.procs[&pid].pt, counter);
+        }
+    }
+    run_marked(&mut sys, counter_info.0, counter_info.1, warmup, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_slower_than_sem_due_to_copies() {
+        // Figure 5: Pipe (=CPU) ≈ 1016× vs Sem ≈ 757× a function call.
+        let sem = crate::sem::bench_sem(100, Placement::SameCpu, 1);
+        let pipe = bench_pipe(100, Placement::SameCpu, 1);
+        assert!(
+            pipe.per_op_ns > sem.per_op_ns,
+            "pipe {} ns must exceed sem {} ns",
+            pipe.per_op_ns,
+            sem.per_op_ns
+        );
+    }
+
+    #[test]
+    fn pipe_payload_cost_grows_with_size() {
+        let small = bench_pipe(80, Placement::SameCpu, 1);
+        let big = bench_pipe(80, Placement::SameCpu, 16 * 1024);
+        assert!(
+            big.per_op_ns > small.per_op_ns + 1000.0,
+            "16 KiB over a pipe must cost visibly more: {} vs {}",
+            big.per_op_ns,
+            small.per_op_ns
+        );
+    }
+
+    #[test]
+    fn large_payload_exceeding_capacity_works() {
+        // 128 KiB > the 64 KiB pipe buffer: exercises the short-read/write
+        // loops.
+        let r = bench_pipe(12, Placement::SameCpu, 128 * 1024);
+        assert!(r.per_op_ns > 10_000.0);
+    }
+}

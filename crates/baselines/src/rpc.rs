@@ -1,0 +1,165 @@
+//! Local RPC in the style of glibc `rpcgen` over UNIX sockets (§2.2).
+//!
+//! The client stub marshals the arguments into an XDR-ish message
+//! (header: procedure id + length), sends it over a stream socket, and
+//! blocks for the reply; the server loop reads the header, demultiplexes
+//! the request to its handler, unmarshals the arguments, runs the handler
+//! (which reads them), marshals a reply and sends it back. Compared with a
+//! pipe this adds the user-level (de)marshalling copies and the dispatch
+//! code — which is exactly why "Local RPC" tops Figure 2.
+
+use std::collections::HashMap;
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::System;
+use simkernel::KernelConfig;
+
+use crate::asmlib::{bump, read_exact, write_all};
+use crate::util::{make_sock_pair, run_marked, BenchResult, Placement};
+
+/// Message header bytes: `[proc_id: u64][len: u64]`.
+const HDR: u64 = 16;
+/// Modeled fixed cost of XDR encode/decode logic beyond the byte copies
+/// (cycles; rpcgen-generated xdr_* calls, bounds checks, allocation).
+const XDR_FIXED: i32 = 2600;
+
+/// Runs the local-RPC ping-pong with an `arg_size`-byte argument.
+pub fn bench_rpc(iters: u64, placement: Placement, arg_size: u64) -> BenchResult {
+    let warmup = (iters / 10).max(8);
+    let cpus = if placement == Placement::CrossCpu { 2 } else { 1 };
+    let mut sys = System::new(KernelConfig { cpus, ..KernelConfig::default() });
+    let client = sys.k.create_process("rpc-client", false);
+    let server = sys.k.create_process("rpc-server", false);
+    let (cfd, sfd) = make_sock_pair(&mut sys, client, server);
+    let arg = arg_size.max(1);
+
+    // --- Client stub ---
+    let mut a = Asm::new();
+    a.li(S0, cfd as u64);
+    a.li_sym(S1, "$src");
+    a.li_sym(S2, "$msg");
+    a.li_sym(S4, "$counter");
+    a.li(S6, arg);
+    a.label("loop");
+    // Marshal: header + argument copy into the message buffer.
+    a.li(T2, 42); // procedure id
+    a.push(Instr::St { rs1: S2, rs2: T2, imm: 0 });
+    a.push(Instr::St { rs1: S2, rs2: S6, imm: 8 });
+    a.push(Instr::Addi { rd: T3, rs1: S2, imm: HDR as i32 });
+    a.push(Instr::MemCpy { rd: T3, rs1: S1, rs2: S6 });
+    a.push(Instr::Work { rs1: 0, imm: XDR_FIXED });
+    // Send request.
+    a.push(Instr::Addi { rd: T4, rs1: S6, imm: HDR as i32 });
+    write_all(&mut a, S0, S2, T4, "creq");
+    // Receive reply (16-byte status).
+    a.li(T4, HDR);
+    read_exact(&mut a, S0, S2, T4, "crep");
+    a.push(Instr::Work { rs1: 0, imm: XDR_FIXED / 2 });
+    bump(&mut a, S4);
+    a.j("loop");
+    let client_prog = a.finish();
+
+    // --- Server dispatch loop ---
+    let mut a = Asm::new();
+    a.li(S0, sfd as u64);
+    a.li_sym(S2, "$msg");
+    a.li_sym(S3, "$args");
+    a.li_sym(S4, "$local");
+    a.label("loop");
+    // Read header, then exactly the body.
+    a.li(T4, HDR);
+    read_exact(&mut a, S0, S2, T4, "shdr");
+    a.push(Instr::Ld { rd: S7, rs1: S2, imm: 8 }); // len
+    a.push(Instr::Addi { rd: T5, rs1: S2, imm: HDR as i32 });
+    read_exact(&mut a, S0, T5, S7, "sbody");
+    // Demultiplex: compare the procedure id against the dispatch table
+    // ("callees must also dispatch requests from a single IPC channel into
+    // their respective handler function", §2.2).
+    a.push(Instr::Ld { rd: T6, rs1: S2, imm: 0 });
+    a.li(T2, 40);
+    a.beq(T6, T2, "h40");
+    a.li(T2, 41);
+    a.beq(T6, T2, "h41");
+    a.li(T2, 42);
+    a.beq(T6, T2, "h42");
+    a.j("reply"); // unknown proc: error reply
+    a.label("h40");
+    a.j("reply");
+    a.label("h41");
+    a.j("reply");
+    a.label("h42");
+    // Unmarshal: copy the body into the handler's argument struct.
+    a.push(Instr::Addi { rd: T5, rs1: S2, imm: HDR as i32 });
+    a.push(Instr::MemCpy { rd: S3, rs1: T5, rs2: S7 });
+    a.push(Instr::Work { rs1: 0, imm: XDR_FIXED });
+    // Handler: reads the arguments.
+    a.push(Instr::MemCpy { rd: S4, rs1: S3, rs2: S7 });
+    // Marshal reply.
+    a.label("reply");
+    a.li(T2, 0);
+    a.push(Instr::St { rs1: S2, rs2: T2, imm: 0 });
+    a.push(Instr::St { rs1: S2, rs2: T2, imm: 8 });
+    a.push(Instr::Work { rs1: 0, imm: XDR_FIXED / 2 });
+    a.li(T4, HDR);
+    write_all(&mut a, S0, S2, T4, "srep");
+    a.j("loop");
+    let server_prog = a.finish();
+
+    let (ccpu, scpu) = placement.cpus();
+    let mut counter_info = (simmem::PageTableId(0), 0u64);
+    for (pid, prog, cpu, is_client) in
+        [(client, &client_prog, ccpu, true), (server, &server_prog, scpu, false)]
+    {
+        let buf_bytes = (arg + HDR).max(simmem::PAGE_SIZE);
+        let mut ex = HashMap::new();
+        for name in ["$src", "$msg", "$args", "$local"] {
+            let b = sys.k.alloc_mem(pid, buf_bytes, simmem::PageFlags::RW);
+            ex.insert(name.to_string(), b);
+        }
+        let counter = sys.k.alloc_mem(pid, simmem::PAGE_SIZE, simmem::PageFlags::RW);
+        ex.insert("$counter".to_string(), counter);
+        let img = sys.k.load_program(pid, prog, &ex);
+        let tid = sys.k.spawn_thread(pid, img.base, &[]);
+        sys.k.pin_thread(tid, cpu);
+        if is_client {
+            counter_info = (sys.k.procs[&pid].pt, counter);
+        }
+    }
+    run_marked(&mut sys, counter_info.0, counter_info.1, warmup, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_is_the_slowest_traditional_primitive() {
+        let sem = crate::sem::bench_sem(80, Placement::SameCpu, 1);
+        let pipe = crate::pipe::bench_pipe(80, Placement::SameCpu, 1);
+        let rpc = bench_rpc(80, Placement::SameCpu, 1);
+        assert!(rpc.per_op_ns > pipe.per_op_ns, "rpc {} <= pipe {}", rpc.per_op_ns, pipe.per_op_ns);
+        assert!(rpc.per_op_ns > sem.per_op_ns);
+    }
+
+    #[test]
+    fn rpc_lands_near_paper_magnitude() {
+        // Local RPC (=CPU) ≈ 3428 × 2 ns ≈ 6.9 µs; accept a broad band.
+        let r = bench_rpc(100, Placement::SameCpu, 1);
+        assert!(
+            (3000.0..15000.0).contains(&r.per_op_ns),
+            "RPC {} ns, expected several µs",
+            r.per_op_ns
+        );
+    }
+
+    #[test]
+    fn rpc_breakdown_shows_user_and_kernel_work() {
+        use simkernel::TimeCat;
+        let r = bench_rpc(60, Placement::SameCpu, 256);
+        assert!(r.breakdown.get(TimeCat::User) > 0, "marshalling is user time");
+        assert!(r.breakdown.get(TimeCat::Kernel) > 0);
+        assert!(r.breakdown.get(TimeCat::Sched) > 0);
+        assert!(r.breakdown.get(TimeCat::PtSwitch) > 0, "two private page tables");
+    }
+}

@@ -1,0 +1,123 @@
+//! POSIX-semaphore IPC over shared memory (the paper's "Sem." primitive).
+//!
+//! Two processes share a buffer and two futex-backed semaphores. The client
+//! fills the buffer and posts; the server consumes and posts back. This is
+//! the cheapest traditional primitive (§2.2): no cross-process copies, but
+//! "the programmer still has to populate the shared buffer", and every
+//! round trip pays two blocking waits, two wakes and the scheduler.
+
+use std::collections::HashMap;
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::System;
+use simkernel::KernelConfig;
+
+use crate::asmlib::{bump, sem_post, sem_wait};
+use crate::util::{map_shared, run_marked, BenchResult, Placement};
+
+/// Shared-region layout.
+const SEM_A: u64 = 0; // client → server
+const SEM_B: u64 = 64; // server → client
+const COUNTER: u64 = 128;
+const BUF: u64 = 4096;
+
+/// Runs the semaphore ping-pong with an `arg_size`-byte payload.
+pub fn bench_sem(iters: u64, placement: Placement, arg_size: u64) -> BenchResult {
+    let warmup = (iters / 10).max(8);
+    let cpus = if placement == Placement::CrossCpu { 2 } else { 1 };
+    let mut sys = System::new(KernelConfig { cpus, ..KernelConfig::default() });
+    let client = sys.k.create_process("sem-client", false);
+    let server = sys.k.create_process("sem-server", false);
+    let shm_pages = 1 + arg_size.div_ceil(simmem::PAGE_SIZE).max(1);
+    let shm = map_shared(&mut sys, &[client, server], shm_pages);
+
+    // Client.
+    let mut a = Asm::new();
+    a.li(S0, shm + SEM_A);
+    a.li(S1, shm + SEM_B);
+    a.li(S2, shm + COUNTER);
+    a.li(S3, shm + BUF);
+    a.li_sym(S4, "$src");
+    a.label("loop");
+    if arg_size > 0 {
+        a.li(T2, arg_size);
+        a.push(Instr::MemCpy { rd: S3, rs1: S4, rs2: T2 });
+    }
+    sem_post(&mut a, S0);
+    sem_wait(&mut a, S1, "cw");
+    bump(&mut a, S2);
+    a.j("loop");
+    let client_prog = a.finish();
+
+    // Server.
+    let mut a = Asm::new();
+    a.li(S0, shm + SEM_A);
+    a.li(S1, shm + SEM_B);
+    a.li(S3, shm + BUF);
+    a.li_sym(S4, "$local");
+    a.label("loop");
+    sem_wait(&mut a, S0, "sw");
+    if arg_size > 0 {
+        a.li(T2, arg_size);
+        a.push(Instr::MemCpy { rd: S4, rs1: S3, rs2: T2 });
+    }
+    sem_post(&mut a, S1);
+    a.j("loop");
+    let server_prog = a.finish();
+
+    let (ccpu, scpu) = placement.cpus();
+    let mut load = |pid, prog: &cdvm::asm::Program, cpu: usize| {
+        let src = sys.k.alloc_mem(pid, arg_size.max(simmem::PAGE_SIZE), simmem::PageFlags::RW);
+        let mut ex = HashMap::new();
+        ex.insert("$src".to_string(), src);
+        ex.insert("$local".to_string(), src);
+        let img = sys.k.load_program(pid, prog, &ex);
+        let tid = sys.k.spawn_thread(pid, img.base, &[]);
+        sys.k.pin_thread(tid, cpu);
+        tid
+    };
+    load(client, &client_prog, ccpu);
+    load(server, &server_prog, scpu);
+
+    let pt = sys.k.procs[&client].pt;
+    run_marked(&mut sys, pt, shm + COUNTER, warmup, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_cpu_lands_in_paper_band() {
+        // Figure 5: Sem (=CPU) ≈ 757 × 2 ns ≈ 1.5 µs.
+        let r = bench_sem(150, Placement::SameCpu, 1);
+        assert!(
+            (700.0..3500.0).contains(&r.per_op_ns),
+            "Sem (=CPU) {} ns, expected ~1.5 µs",
+            r.per_op_ns
+        );
+    }
+
+    #[test]
+    fn cross_cpu_is_slower() {
+        let same = bench_sem(100, Placement::SameCpu, 1);
+        let cross = bench_sem(100, Placement::CrossCpu, 1);
+        assert!(
+            cross.per_op_ns > same.per_op_ns * 1.5,
+            "cross {} vs same {}",
+            cross.per_op_ns,
+            same.per_op_ns
+        );
+    }
+
+    #[test]
+    fn payload_size_barely_matters() {
+        // Shared memory: no cross-process copies, only the producer fill
+        // and consumer read — which the function-call baseline also pays.
+        let small = bench_sem(100, Placement::SameCpu, 1);
+        let big = bench_sem(100, Placement::SameCpu, 4096);
+        let added = big.per_op_ns - small.per_op_ns;
+        assert!(added < 1500.0, "sem payload cost grew too much: {added} ns");
+    }
+}

@@ -1,0 +1,53 @@
+//! Headline numbers and Figure 5 shape assertions at realistic scale.
+
+use baselines::*;
+use dipc::IsoProps;
+
+#[test]
+fn figure5_shape_and_headlines() {
+    let func = micro::bench_function_call(20_000, 0);
+    let sysc = micro::bench_syscall(5_000);
+    let dlow = dipcbench::bench_dipc(2_000, IsoProps::LOW, false, 0);
+    let dhigh = dipcbench::bench_dipc(2_000, IsoProps::HIGH, false, 0);
+    let dplow = dipcbench::bench_dipc(2_000, IsoProps::LOW, true, 1);
+    let dphigh = dipcbench::bench_dipc(2_000, IsoProps::HIGH, true, 1);
+    let sem_s = sem::bench_sem(300, Placement::SameCpu, 1);
+    let sem_x = sem::bench_sem(300, Placement::CrossCpu, 1);
+    let pipe_s = pipe::bench_pipe(300, Placement::SameCpu, 1);
+    let l4_s = l4::bench_l4(300, Placement::SameCpu);
+    let rpc_s = rpc::bench_rpc(300, Placement::SameCpu, 1);
+    let rpc_x = rpc::bench_rpc(300, Placement::CrossCpu, 1);
+    let urpc = dipcbench::bench_dipc_user_rpc(300, 64);
+
+    eprintln!("func      {:10.2} ns", func.per_op_ns);
+    eprintln!("syscall   {:10.2} ns ({:6.1}x)", sysc.per_op_ns, sysc.per_op_ns/func.per_op_ns);
+    eprintln!("dipc low  {:10.2} ns ({:6.1}x)", dlow.per_op_ns, dlow.per_op_ns/func.per_op_ns);
+    eprintln!("dipc high {:10.2} ns ({:6.1}x)", dhigh.per_op_ns, dhigh.per_op_ns/func.per_op_ns);
+    eprintln!("dipc+p lo {:10.2} ns ({:6.1}x)", dplow.per_op_ns, dplow.per_op_ns/func.per_op_ns);
+    eprintln!("dipc+p hi {:10.2} ns ({:6.1}x)", dphigh.per_op_ns, dphigh.per_op_ns/func.per_op_ns);
+    eprintln!("sem  =    {:10.2} ns ({:6.1}x)", sem_s.per_op_ns, sem_s.per_op_ns/func.per_op_ns);
+    eprintln!("sem  !=   {:10.2} ns ({:6.1}x)", sem_x.per_op_ns, sem_x.per_op_ns/func.per_op_ns);
+    eprintln!("pipe =    {:10.2} ns ({:6.1}x)", pipe_s.per_op_ns, pipe_s.per_op_ns/func.per_op_ns);
+    eprintln!("l4   =    {:10.2} ns ({:6.1}x)", l4_s.per_op_ns, l4_s.per_op_ns/func.per_op_ns);
+    eprintln!("rpc  =    {:10.2} ns ({:6.1}x)", rpc_s.per_op_ns, rpc_s.per_op_ns/func.per_op_ns);
+    eprintln!("rpc  !=   {:10.2} ns ({:6.1}x)", rpc_x.per_op_ns, rpc_x.per_op_ns/func.per_op_ns);
+    eprintln!("userrpc   {:10.2} ns ({:6.1}x)", urpc.per_op_ns, urpc.per_op_ns/func.per_op_ns);
+    eprintln!("HEADLINE dIPC vs RPC: {:.2}x (paper 64.12x)", rpc_s.per_op_ns / dphigh.per_op_ns);
+    eprintln!("HEADLINE dIPC vs L4 : {:.2}x (paper 8.87x)", l4_s.per_op_ns / dphigh.per_op_ns);
+
+    // Figure 5 ordering (who wins).
+    assert!(func.per_op_ns < sysc.per_op_ns);
+    assert!(dlow.per_op_ns < sysc.per_op_ns, "dIPC Low beats a syscall");
+    assert!(dhigh.per_op_ns < l4_s.per_op_ns);
+    assert!(dplow.per_op_ns < dphigh.per_op_ns);
+    assert!(dphigh.per_op_ns < l4_s.per_op_ns);
+    assert!(l4_s.per_op_ns < sem_s.per_op_ns);
+    assert!(sem_s.per_op_ns < pipe_s.per_op_ns);
+    assert!(pipe_s.per_op_ns < rpc_s.per_op_ns);
+    assert!(urpc.per_op_ns < rpc_x.per_op_ns, "user RPC almost twice as fast as RPC");
+    // Headline bands (generous: ours is a simulator).
+    let vs_rpc = rpc_s.per_op_ns / dphigh.per_op_ns;
+    assert!((25.0..130.0).contains(&vs_rpc), "dIPC vs RPC {vs_rpc:.1}x (paper 64x)");
+    let vs_l4 = l4_s.per_op_ns / dphigh.per_op_ns;
+    assert!((4.0..20.0).contains(&vs_l4), "dIPC vs L4 {vs_l4:.1}x (paper 8.87x)");
+}

@@ -1,0 +1,32 @@
+//! Criterion bench for Table 1: modeled round-trip domain switch with 4 KiB
+//! of bulk data per architecture.
+
+use std::time::Duration;
+
+use codoms::archcmp::{Arch, ArchCosts};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_archcmp(c: &mut Criterion) {
+    let costs = ArchCosts::default();
+    let mut g = c.benchmark_group("tab1_archcmp");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for a in Arch::ALL {
+        g.bench_function(a.name().replace(' ', "_"), move |b| {
+            b.iter_custom(move |n| {
+                Duration::from_secs_f64(a.total_ns(&costs, 4096) * n as f64 * 1e-9)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // The simulator is deterministic, so samples have zero variance; the
+    // plotters backend cannot draw degenerate ranges.
+    Criterion::default().without_plots()
+}
+
+criterion_group!(name = benches; config = config(); targets = bench_archcmp);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 7: netpipe RTT per driver-isolation
+//! mechanism (64-byte messages).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{netpipe_rtt, DriverIso};
+
+fn bench_netpipe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_netpipe");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for iso in DriverIso::ALL {
+        g.bench_function(iso.label().replace(' ', "_"), move |b| {
+            b.iter_custom(move |n| {
+                let r = netpipe_rtt(iso, 64, 30);
+                Duration::from_secs_f64(r.rtt_ns * n as f64 * 1e-9)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // The simulator is deterministic, so samples have zero variance; the
+    // plotters backend cannot draw degenerate ranges.
+    Criterion::default().without_plots()
+}
+
+criterion_group!(name = benches; config = config(); targets = bench_netpipe);
+criterion_main!(benches);

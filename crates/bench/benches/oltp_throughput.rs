@@ -1,0 +1,44 @@
+//! Criterion bench for Figure 8: OLTP operation latency per configuration
+//! (throughput = concurrency / latency; EXPERIMENTS.md tabulates ops/min).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oltp::{dipc_stack, ideal_stack, linux_stack, OltpParams, StorageKind};
+
+fn op_latency(build: fn(&OltpParams) -> oltp::Stack, p: &OltpParams) -> Duration {
+    let mut s = build(p);
+    let r = s.run(20, 100, p.concurrency);
+    Duration::from_secs_f64(r.avg_latency_ms * 1e-3)
+}
+
+fn bench_oltp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_oltp");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for (name, storage) in
+        [("in_memory", StorageKind::InMemory), ("on_disk", StorageKind::Disk)]
+    {
+        let p = OltpParams::with(16, storage);
+        g.bench_function(format!("linux_{name}"), |b| {
+            b.iter_custom(|n| op_latency(linux_stack::build, &p).mul_f64(n as f64))
+        });
+        g.bench_function(format!("dipc_{name}"), |b| {
+            b.iter_custom(|n| op_latency(dipc_stack::build, &p).mul_f64(n as f64))
+        });
+        g.bench_function(format!("ideal_{name}"), |b| {
+            b.iter_custom(|n| op_latency(ideal_stack::build, &p).mul_f64(n as f64))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // The simulator is deterministic, so samples have zero variance; the
+    // plotters backend cannot draw degenerate ranges.
+    Criterion::default().without_plots()
+}
+
+criterion_group!(name = benches; config = config(); targets = bench_oltp);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench for Figure 5: synchronous call latency per primitive.
+//!
+//! The measured quantity is *simulated* time: each iteration runs the full
+//! machine simulation and reports the simulated per-operation latency as
+//! the sample duration, so Criterion's statistics describe the modeled
+//! hardware, not the host.
+
+use std::time::Duration;
+
+use baselines::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dipc::IsoProps;
+
+fn sim_duration(per_op_ns: f64, iters: u64) -> Duration {
+    Duration::from_secs_f64(per_op_ns * iters as f64 * 1e-9)
+}
+
+fn bench_sync_call(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_sync_call");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("function_call", |b| {
+        b.iter_custom(|n| sim_duration(micro::bench_function_call(5_000, 0).per_op_ns, n))
+    });
+    g.bench_function("syscall", |b| {
+        b.iter_custom(|n| sim_duration(micro::bench_syscall(2_000).per_op_ns, n))
+    });
+    g.bench_function("dipc_low", |b| {
+        b.iter_custom(|n| {
+            sim_duration(dipcbench::bench_dipc(500, IsoProps::LOW, false, 0).per_op_ns, n)
+        })
+    });
+    g.bench_function("dipc_high", |b| {
+        b.iter_custom(|n| {
+            sim_duration(dipcbench::bench_dipc(500, IsoProps::HIGH, false, 0).per_op_ns, n)
+        })
+    });
+    g.bench_function("dipc_proc_low", |b| {
+        b.iter_custom(|n| {
+            sim_duration(dipcbench::bench_dipc(500, IsoProps::LOW, true, 1).per_op_ns, n)
+        })
+    });
+    g.bench_function("dipc_proc_high", |b| {
+        b.iter_custom(|n| {
+            sim_duration(dipcbench::bench_dipc(500, IsoProps::HIGH, true, 1).per_op_ns, n)
+        })
+    });
+    g.bench_function("sem_same_cpu", |b| {
+        b.iter_custom(|n| sim_duration(sem::bench_sem(120, Placement::SameCpu, 1).per_op_ns, n))
+    });
+    g.bench_function("pipe_same_cpu", |b| {
+        b.iter_custom(|n| sim_duration(pipe::bench_pipe(120, Placement::SameCpu, 1).per_op_ns, n))
+    });
+    g.bench_function("l4_same_cpu", |b| {
+        b.iter_custom(|n| sim_duration(l4::bench_l4(120, Placement::SameCpu).per_op_ns, n))
+    });
+    g.bench_function("local_rpc_same_cpu", |b| {
+        b.iter_custom(|n| sim_duration(rpc::bench_rpc(120, Placement::SameCpu, 1).per_op_ns, n))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    // The simulator is deterministic, so samples have zero variance; the
+    // plotters backend cannot draw degenerate ranges.
+    Criterion::default().without_plots()
+}
+
+criterion_group!(name = benches; config = config(); targets = bench_sync_call);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Policy ablation (§7.2): the cost of each isolation property, and the
+//! spread between asymmetric policies ("up to a 8.47x performance
+//! difference").
+
+use baselines::dipcbench::bench_dipc_asym;
+use dipc::IsoProps;
+
+fn main() {
+    bench::banner("Ablation - per-property cost of dIPC isolation policies");
+    let s = bench::scale();
+    let iters = 1_000 * s;
+    let cases = [
+        ("Low (none)", IsoProps::LOW),
+        ("+reg integrity", IsoProps::REG_INTEGRITY),
+        ("+reg confidentiality", IsoProps::REG_CONF),
+        ("+stack integrity", IsoProps::STACK_INTEGRITY),
+        ("+stack conf+integ", IsoProps::STACK_CONF),
+        ("+DCS integrity", IsoProps::DCS_INTEGRITY),
+        ("+DCS conf+integ", IsoProps::DCS_CONF),
+        ("High (all)", IsoProps::HIGH),
+    ];
+    for cross in [false, true] {
+        let label = if cross { "cross-process (+proc)" } else { "same-process" };
+        println!("\n--- {label} ---");
+        let mut low = 0.0f64;
+        let mut high = 0.0f64;
+        for (name, props) in cases {
+            // Stub-side properties are measured caller-side (the callee
+            // stub for register confidentiality needs a usable stack, which
+            // only the High/stack-conf configurations provide).
+            let callee = if props == IsoProps::HIGH { props } else { IsoProps::LOW };
+            let r = bench_dipc_asym(iters, props, callee, cross, 1);
+            if name.starts_with("Low") {
+                low = r.per_op_ns;
+            }
+            if name.starts_with("High") {
+                high = r.per_op_ns;
+            }
+            println!("{name:<22} {:>9.2} ns", r.per_op_ns);
+        }
+        println!("policy spread High/Low: {:.2}x  (paper: up to 8.47x across", high / low);
+        println!("  asymmetric policies)");
+    }
+    // TLS-switch share (§7.2: optimizing it would gain 1.54x-3.22x).
+    let r = bench_dipc_asym(iters, IsoProps::LOW, IsoProps::LOW, true, 1);
+    let wrfsbase_ns = 2.0 * cdvm::CostModel::default().ns(cdvm::CostModel::default().wrfsbase);
+    println!(
+        "\nTLS-switch share of dIPC+proc Low: {:.0}% ({:.1} of {:.1} ns; paper: 'a",
+        100.0 * wrfsbase_ns / r.per_op_ns,
+        wrfsbase_ns,
+        r.per_op_ns
+    );
+    println!("large part of the time')");
+}

@@ -1,0 +1,26 @@
+//! Figure 2: time breakdown of different IPC primitives (blocks 1-7).
+
+use baselines::*;
+
+fn main() {
+    bench::banner("Figure 2 - time breakdown of IPC primitives (1-byte argument)");
+    let s = bench::scale();
+    println!("blocks: (1) user  (2) syscall+2xswapgs+sysret  (3) dispatch");
+    println!("        (4) kernel  (5) sched/ctxt-switch  (6) page-table  (7) idle\n");
+    println!("{:<18} {:>10}  {}", "primitive", "per-op", bench::breakdown_header());
+    for (name, r) in [
+        ("Sem. (=CPU)", sem::bench_sem(300 * s, Placement::SameCpu, 1)),
+        ("Sem. (!=CPU)", sem::bench_sem(300 * s, Placement::CrossCpu, 1)),
+        ("L4 (=CPU)", l4::bench_l4(300 * s, Placement::SameCpu)),
+        ("L4 (!=CPU)", l4::bench_l4(300 * s, Placement::CrossCpu)),
+        ("Local RPC (=CPU)", rpc::bench_rpc(300 * s, Placement::SameCpu, 1)),
+        ("Local RPC (!=CPU)", rpc::bench_rpc(300 * s, Placement::CrossCpu, 1)),
+    ] {
+        println!(
+            "{name:<18} {:>8.0}ns  {}",
+            r.per_op_ns,
+            bench::breakdown_row(&r.breakdown)
+        );
+    }
+    println!("\npaper: ~80% of a bare process switch is software; RPC(!=CPU) ~7345ns.");
+}

@@ -1,0 +1,61 @@
+//! Figure 5: performance of synchronous calls in dIPC and other primitives
+//! (one-byte argument; log-scale in the paper, ratios here).
+
+use baselines::*;
+use dipc::IsoProps;
+
+fn main() {
+    bench::banner("Figure 5 - synchronous call latency (1-byte argument)");
+    let s = bench::scale();
+    let func = micro::bench_function_call(20_000 * s, 0);
+    let f = func.per_op_ns;
+    println!("paper anchors: function <2ns, syscall ~34ns, L4(=CPU) 474x,");
+    println!("  Sem(=CPU) 757x, Pipe(=CPU) 1016x, RPC(=CPU) 3428x,");
+    println!("  dIPC Low 3x / High 25x, dIPC+proc Low 28x / High 53x\n");
+    println!("{}", bench::ns_row("Func.", f, f));
+    let sysc = micro::bench_syscall(5_000 * s);
+    println!("{}", bench::ns_row("Syscall", sysc.per_op_ns, f));
+    let r = dipcbench::bench_dipc(2_000 * s, IsoProps::LOW, false, 0);
+    println!("{}", bench::ns_row("dIPC - Low", r.per_op_ns, f));
+    let r = dipcbench::bench_dipc(2_000 * s, IsoProps::HIGH, false, 0);
+    println!("{}", bench::ns_row("dIPC - High", r.per_op_ns, f));
+    let sem_s = sem::bench_sem(300 * s, Placement::SameCpu, 1);
+    println!("{}", bench::ns_row("Sem. (=CPU)", sem_s.per_op_ns, f));
+    let r = sem::bench_sem(300 * s, Placement::CrossCpu, 1);
+    println!("{}", bench::ns_row("Sem. (!=CPU)", r.per_op_ns, f));
+    let r = pipe::bench_pipe(300 * s, Placement::SameCpu, 1);
+    println!("{}", bench::ns_row("Pipe (=CPU)", r.per_op_ns, f));
+    let r = pipe::bench_pipe(300 * s, Placement::CrossCpu, 1);
+    println!("{}", bench::ns_row("Pipe (!=CPU)", r.per_op_ns, f));
+    let l4_s = l4::bench_l4(300 * s, Placement::SameCpu);
+    println!("{}", bench::ns_row("L4 (=CPU)", l4_s.per_op_ns, f));
+    let r = l4::bench_l4(300 * s, Placement::CrossCpu);
+    println!("{}", bench::ns_row("L4 (!=CPU)", r.per_op_ns, f));
+    let dplow = dipcbench::bench_dipc(2_000 * s, IsoProps::LOW, true, 1);
+    println!("{}", bench::ns_row("dIPC +proc - Low", dplow.per_op_ns, f));
+    let dphigh = dipcbench::bench_dipc(2_000 * s, IsoProps::HIGH, true, 1);
+    println!("{}", bench::ns_row("dIPC +proc - High", dphigh.per_op_ns, f));
+    let rpc_s = rpc::bench_rpc(300 * s, Placement::SameCpu, 1);
+    println!("{}", bench::ns_row("Local RPC (=CPU)", rpc_s.per_op_ns, f));
+    let rpc_x = rpc::bench_rpc(300 * s, Placement::CrossCpu, 1);
+    println!("{}", bench::ns_row("Local RPC (!=CPU)", rpc_x.per_op_ns, f));
+    let urpc = dipcbench::bench_dipc_user_rpc(300 * s, 64);
+    println!("{}", bench::ns_row("dIPC - User RPC (!=CPU)", urpc.per_op_ns, f));
+    println!();
+    println!(
+        "HEADLINES: dIPC+proc(High) vs Local RPC(=CPU): {:.2}x  (paper: 64.12x)",
+        rpc_s.per_op_ns / dphigh.per_op_ns
+    );
+    println!(
+        "           dIPC+proc(High) vs L4(=CPU):        {:.2}x  (paper: 8.87x)",
+        l4_s.per_op_ns / dphigh.per_op_ns
+    );
+    println!(
+        "           Sem vs dIPC+proc(High):             {:.2}x  (paper: 14.16x)",
+        sem_s.per_op_ns / dphigh.per_op_ns
+    );
+    println!(
+        "           RPC vs dIPC+proc(Low):              {:.2}x  (paper: 120.67x)",
+        rpc_s.per_op_ns / dplow.per_op_ns
+    );
+}

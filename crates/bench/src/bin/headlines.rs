@@ -1,0 +1,21 @@
+//! The paper's abstract numbers, regenerated in one shot.
+
+use baselines::*;
+use dipc::IsoProps;
+
+fn main() {
+    bench::banner("Headlines - abstract claims");
+    let s = bench::scale();
+    let rpc_s = rpc::bench_rpc(300 * s, Placement::SameCpu, 1);
+    let l4_s = l4::bench_l4(300 * s, Placement::SameCpu);
+    let dphigh = dipcbench::bench_dipc(2_000 * s, IsoProps::HIGH, true, 1);
+    println!(
+        "dIPC vs local RPC: {:.2}x faster   (paper: 64.12x)",
+        rpc_s.per_op_ns / dphigh.per_op_ns
+    );
+    println!(
+        "dIPC vs L4 IPC:    {:.2}x faster   (paper: 8.87x)",
+        l4_s.per_op_ns / dphigh.per_op_ns
+    );
+    println!("(OLTP speedups: run `cargo run --release -p bench --bin fig8`)");
+}

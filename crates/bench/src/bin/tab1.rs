@@ -1,0 +1,28 @@
+//! Table 1: best-case round-trip domain switch with bulk data, per
+//! architecture.
+
+use codoms::archcmp::{Arch, ArchCosts};
+
+fn main() {
+    bench::banner("Table 1 - domain switch + bulk data across architectures");
+    let c = ArchCosts::default();
+    println!("{:<18} {:<58} {:<30}", "architecture", "switch (S)", "bulk data (D)");
+    for a in Arch::ALL {
+        println!("{:<18} {:<58} {:<30}", a.name(), a.switch_ops(), a.data_ops());
+    }
+    println!("\nmodeled round-trip cost (switch + data), by payload size:");
+    print!("{:<18}", "architecture");
+    let sizes = [8u64, 64, 1024, 4096, 65536];
+    for s in sizes {
+        print!(" {s:>9}B");
+    }
+    println!();
+    for a in Arch::ALL {
+        print!("{:<18}", a.name());
+        for s in sizes {
+            print!(" {:>9.1}", a.total_ns(&c, s));
+        }
+        println!(" (ns)");
+    }
+    println!("\npaper: CODOMs switches with call+return; capabilities avoid copies.");
+}

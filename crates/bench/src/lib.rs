@@ -1,0 +1,64 @@
+//! Benchmark harness support: shared formatting and scaling knobs for the
+//! per-figure/per-table binaries (`fig1`, `fig2`, `tab1`, `fig5`, `fig6`,
+//! `fig7`, `fig8`, `ablation_policies`, `sensitivity`).
+//!
+//! Every binary prints the Table 3 machine banner, the paper's expected
+//! values where applicable, and the regenerated rows/series. Absolute
+//! numbers come from the calibrated simulator; EXPERIMENTS.md records the
+//! paper-vs-measured comparison.
+
+use cdvm::MachineConfig;
+use simkernel::{TimeBreakdown, TimeCat};
+
+/// Prints the standard harness header.
+pub fn banner(title: &str) {
+    let m = MachineConfig::default();
+    println!("================================================================");
+    println!("{title}");
+    println!("{}", m.banner());
+    println!("================================================================");
+}
+
+/// Measurement scale factor from the `BENCH_SCALE` env var (1 = quick
+/// default; larger = longer, steadier runs).
+pub fn scale() -> u64 {
+    std::env::var("BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}
+
+/// Formats a Figure 2-style breakdown as percentages.
+pub fn breakdown_row(b: &TimeBreakdown) -> String {
+    TimeCat::ALL
+        .iter()
+        .map(|c| format!("{:>5.1}%", b.fraction(*c) * 100.0))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The breakdown header matching [`breakdown_row`].
+pub fn breakdown_header() -> String {
+    "  user  sysc  disp  kern sched    pt  idle".to_string()
+}
+
+/// Pretty ns with the ×-function-call ratio the paper uses.
+pub fn ns_row(name: &str, ns: f64, func_ns: f64) -> String {
+    format!("{name:<26} {ns:>10.2} ns   {:>8.1}x", ns / func_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_row_has_seven_columns() {
+        let b = TimeBreakdown::new();
+        assert_eq!(breakdown_row(&b).split_whitespace().count(), 7);
+    }
+
+    #[test]
+    fn default_scale_is_one() {
+        // (Unless the caller exported BENCH_SCALE.)
+        if std::env::var("BENCH_SCALE").is_err() {
+            assert_eq!(scale(), 1);
+        }
+    }
+}

@@ -1,0 +1,800 @@
+//! The cdvm executor: per-CPU architectural state and the
+//! fetch / check / execute loop.
+//!
+//! Every instruction fetch enforces CODOMs *code-centric* isolation: the
+//! current domain is the domain of the page the PC is on; crossing into a
+//! page of a different domain is a domain switch, checked against the APL
+//! cache and the capability registers (with the Call-permission alignment
+//! rule). Every data access is checked against the conventional page bits,
+//! the APL, and the 8 capability registers.
+//!
+//! The executor reports, rather than handles, all software-visible events:
+//! system calls, faults, and APL-cache misses (which the OS handles by
+//! refilling the software-managed cache and resuming, §4.1).
+
+use codoms::cap::{CapKind, Capability, RevocationTable, CAPABILITY_BYTES, CAP_REGS};
+use codoms::check::{CheckError, Checker};
+use codoms::dcs::{Dcs, DcsError};
+use codoms::{AplCache, Perm};
+use simmem::page::Access;
+use simmem::{DomainTag, MemFault, Memory, PageFlags, PageTableId, Tlb};
+
+use crate::cost::CostModel;
+use crate::isa::{reg, Instr, INSTR_BYTES};
+use crate::stats::ExecStats;
+
+/// A synchronous fault raised by the VM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// PC of the faulting instruction.
+    pub pc: u64,
+    /// What went wrong.
+    pub kind: FaultKind,
+}
+
+/// Fault classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Page-level fault (unmapped / protection bits).
+    Mem(MemFault),
+    /// CODOMs check failure (APL/capability denial, bad entry alignment).
+    Codoms(CheckError),
+    /// Unknown opcode.
+    BadInstr(u8),
+    /// Privileged instruction without privilege.
+    Privilege,
+    /// DCS overflow/underflow.
+    Dcs(DcsError),
+    /// Invalid capability operation (widening restrict, empty register,
+    /// malformed in-memory capability, zero-length take).
+    CapInvalid,
+    /// Plain data access touched a capability-storage page.
+    CapTamper {
+        /// The address of the attempted access.
+        addr: u64,
+    },
+    /// Integer division by zero.
+    DivZero,
+    /// Explicit `Crash` instruction (models an application bug).
+    Crash,
+}
+
+/// Outcome of a single step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepEvent {
+    /// The instruction retired; execution can continue.
+    Retired,
+    /// `Ecall` executed; the PC already points at the next instruction.
+    Ecall,
+    /// `Halt` executed.
+    Halt,
+    /// APL-cache miss for the given domain; the OS must refill and resume
+    /// (the faulting instruction has not executed and will be retried).
+    AplMiss(DomainTag),
+    /// A synchronous fault; the faulting instruction did not retire.
+    Fault(Fault),
+}
+
+/// Outcome of [`Cpu::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunExit {
+    /// Why the run stopped.
+    pub event: StepEvent,
+    /// Instructions retired during this run.
+    pub retired: u64,
+    /// True if the run stopped because the cycle deadline passed (event is
+    /// `Retired` in that case).
+    pub deadline: bool,
+}
+
+/// One simulated hardware thread (CPU core).
+pub struct Cpu {
+    /// CPU index (0-based).
+    pub index: usize,
+    /// General-purpose registers; `regs[0]` is hardwired to zero.
+    pub regs: [u64; 32],
+    /// Program counter.
+    pub pc: u64,
+    /// CODOMs capability registers.
+    pub caps: [Option<Capability>; CAP_REGS],
+    /// DCS register state.
+    pub dcs: Dcs,
+    /// Current protection domain (tag of the PC's page).
+    pub cur_dom: DomainTag,
+    /// Conventional kernel mode (used by non-CODOMs baselines and tests;
+    /// grants privilege and bypasses CODOMs checks).
+    pub kernel_mode: bool,
+    /// Per-CPU base register (`gs`).
+    pub gs: u64,
+    /// Shadow `gs` swapped by `Swapgs`.
+    pub shadow_gs: u64,
+    /// Active page table.
+    pub active_pt: PageTableId,
+    /// This hardware thread's APL cache.
+    pub apl_cache: AplCache,
+    /// Instruction TLB (cost model only).
+    pub itlb: Tlb,
+    /// Data TLB (cost model only).
+    pub dtlb: Tlb,
+    /// Local cycle counter.
+    pub cycles: u64,
+    /// Kernel thread id currently executing (for sync-capability ownership).
+    pub thread: u64,
+    /// CODOMs checker configuration.
+    pub checker: Checker,
+    /// Total retired instructions (statistics).
+    pub retired: u64,
+    /// Per-class retirement statistics.
+    pub exec_stats: ExecStats,
+    /// Number of CODOMs domain crossings taken (fetches that switched the
+    /// current domain) — the quantity behind the paper's "calls per
+    /// operation" accounting in §7.5.
+    pub domain_crossings: u64,
+    /// Flags of the page the PC is currently on (updated at fetch).
+    cur_page_flags: PageFlags,
+}
+
+impl Cpu {
+    /// Creates a CPU with empty state.
+    pub fn new(index: usize) -> Cpu {
+        Cpu {
+            index,
+            regs: [0; 32],
+            pc: 0,
+            caps: [None; CAP_REGS],
+            dcs: Dcs::new(0, 0),
+            cur_dom: DomainTag::KERNEL,
+            kernel_mode: false,
+            gs: 0,
+            shadow_gs: 0,
+            active_pt: Memory::GLOBAL_PT,
+            apl_cache: AplCache::new(),
+            itlb: Tlb::default(),
+            dtlb: Tlb::default(),
+            cycles: 0,
+            thread: 0,
+            checker: Checker::default(),
+            retired: 0,
+            exec_stats: ExecStats::new(),
+            domain_crossings: 0,
+            cur_page_flags: PageFlags::empty(),
+        }
+    }
+
+    /// Reads a register (x0 reads as zero).
+    #[inline]
+    pub fn reg(&self, r: u8) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    /// Writes a register (writes to x0 are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Runs until an event or until `self.cycles >= deadline`.
+    pub fn run(
+        &mut self,
+        mem: &mut Memory,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        deadline: u64,
+    ) -> RunExit {
+        let mut retired = 0;
+        while self.cycles < deadline {
+            match self.step(mem, rev, cost) {
+                StepEvent::Retired => retired += 1,
+                ev => return RunExit { event: ev, retired, deadline: false },
+            }
+        }
+        RunExit { event: StepEvent::Retired, retired, deadline: true }
+    }
+
+    /// Executes a single instruction.
+    pub fn step(
+        &mut self,
+        mem: &mut Memory,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+    ) -> StepEvent {
+        // --- Fetch ---
+        let pc = self.pc;
+        let pte = match mem.translate(self.active_pt, pc, Access::Exec) {
+            Ok(p) => p,
+            Err(f) => return self.fault(FaultKind::Mem(f)),
+        };
+        if !self.itlb.access(self.active_pt, pc) {
+            self.cycles += cost.tlb_miss;
+        }
+        if !self.kernel_mode && pte.tag != self.cur_dom {
+            // Domain crossing: code-centric check.
+            match self.checker.check_jump(
+                self.cur_dom,
+                &pte,
+                pc,
+                &mut self.apl_cache,
+                &self.caps,
+                rev,
+                self.thread,
+            ) {
+                Ok(_) => {
+                    self.cur_dom = pte.tag;
+                    self.domain_crossings += 1;
+                }
+                Err(CheckError::AplMiss { tag }) => return StepEvent::AplMiss(tag),
+                Err(e) => return self.fault(FaultKind::Codoms(e)),
+            }
+        } else if self.kernel_mode {
+            self.cur_dom = pte.tag;
+        }
+        self.cur_page_flags = pte.flags;
+
+        let mut bytes = [0u8; 8];
+        if mem.kread(self.active_pt, pc, &mut bytes).is_err() {
+            return self.fault(FaultKind::Mem(MemFault::Unmapped { addr: pc }));
+        }
+        let instr = match Instr::decode(&bytes) {
+            Some(i) => i,
+            None => return self.fault(FaultKind::BadInstr(bytes[0])),
+        };
+
+        // --- Privilege check ---
+        if instr.is_privileged()
+            && !self.kernel_mode
+            && !self.cur_page_flags.contains(PageFlags::PRIV_CAP)
+        {
+            return self.fault(FaultKind::Privilege);
+        }
+
+        // --- Execute ---
+        let ev = self.execute(instr, mem, rev, cost);
+        if matches!(ev, StepEvent::Retired | StepEvent::Ecall | StepEvent::Halt) {
+            self.retired += 1;
+            self.exec_stats.record(&instr);
+            self.regs[0] = 0;
+        }
+        ev
+    }
+
+    #[inline]
+    fn fault(&self, kind: FaultKind) -> StepEvent {
+        StepEvent::Fault(Fault { pc: self.pc, kind })
+    }
+
+    fn execute(
+        &mut self,
+        instr: Instr,
+        mem: &mut Memory,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+    ) -> StepEvent {
+        use Instr::*;
+        let mut next_pc = self.pc.wrapping_add(INSTR_BYTES);
+        self.cycles += cost.base;
+        match instr {
+            Nop => {}
+            Movi { rd, imm } => self.set_reg(rd, imm as i64 as u64),
+            Movhi { rd, imm } => {
+                let low = self.reg(rd) & 0xffff_ffff;
+                self.set_reg(rd, low | ((imm as u32 as u64) << 32));
+            }
+            Add { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2))),
+            Sub { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_sub(self.reg(rs2))),
+            Mul { rd, rs1, rs2 } => {
+                self.cycles += cost.mul - cost.base;
+                self.set_reg(rd, self.reg(rs1).wrapping_mul(self.reg(rs2)));
+            }
+            Divu { rd, rs1, rs2 } => {
+                self.cycles += cost.div - cost.base;
+                let d = self.reg(rs2);
+                if d == 0 {
+                    return self.fault(FaultKind::DivZero);
+                }
+                self.set_reg(rd, self.reg(rs1) / d);
+            }
+            Remu { rd, rs1, rs2 } => {
+                self.cycles += cost.div - cost.base;
+                let d = self.reg(rs2);
+                if d == 0 {
+                    return self.fault(FaultKind::DivZero);
+                }
+                self.set_reg(rd, self.reg(rs1) % d);
+            }
+            And { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            Or { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) | self.reg(rs2)),
+            Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
+            Sll { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 63)),
+            Srl { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 63)),
+            Sltu { rd, rs1, rs2 } => {
+                self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u64)
+            }
+            Addi { rd, rs1, imm } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_add(imm as i64 as u64))
+            }
+            Andi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) & (imm as i64 as u64)),
+            Ori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) | (imm as i64 as u64)),
+            Slli { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) << (imm as u32 & 63)),
+            Srli { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) >> (imm as u32 & 63)),
+
+            Ld { rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                match self.data_access(mem, rev, cost, addr, 8, false) {
+                    Ok(()) => {
+                        let v = mem.kread_u64(self.active_pt, addr).expect("checked");
+                        self.set_reg(rd, v);
+                    }
+                    Err(ev) => return ev,
+                }
+            }
+            St { rs1, rs2, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                match self.data_access(mem, rev, cost, addr, 8, true) {
+                    Ok(()) => {
+                        mem.kwrite_u64(self.active_pt, addr, self.reg(rs2)).expect("checked")
+                    }
+                    Err(ev) => return ev,
+                }
+            }
+            Ldb { rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                match self.data_access(mem, rev, cost, addr, 1, false) {
+                    Ok(()) => {
+                        let mut b = [0u8; 1];
+                        mem.kread(self.active_pt, addr, &mut b).expect("checked");
+                        self.set_reg(rd, b[0] as u64);
+                    }
+                    Err(ev) => return ev,
+                }
+            }
+            Stb { rs1, rs2, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                match self.data_access(mem, rev, cost, addr, 1, true) {
+                    Ok(()) => mem
+                        .kwrite(self.active_pt, addr, &[(self.reg(rs2) & 0xff) as u8])
+                        .expect("checked"),
+                    Err(ev) => return ev,
+                }
+            }
+            MemCpy { rd, rs1, rs2 } => {
+                let dst = self.reg(rd);
+                let src = self.reg(rs1);
+                let len = self.reg(rs2);
+                if len > 0 {
+                    if let Err(ev) = self.data_access(mem, rev, cost, src, len, false) {
+                        return ev;
+                    }
+                    if let Err(ev) = self.data_access(mem, rev, cost, dst, len, true) {
+                        return ev;
+                    }
+                    let mut buf = vec![0u8; len as usize];
+                    mem.kread(self.active_pt, src, &mut buf).expect("checked");
+                    mem.kwrite(self.active_pt, dst, &buf).expect("checked");
+                    self.cycles += cost.copy_cycles(len);
+                }
+            }
+            MemSet { rd, rs1, rs2 } => {
+                let dst = self.reg(rd);
+                let len = self.reg(rs2);
+                if len > 0 {
+                    if let Err(ev) = self.data_access(mem, rev, cost, dst, len, true) {
+                        return ev;
+                    }
+                    let buf = vec![(self.reg(rs1) & 0xff) as u8; len as usize];
+                    mem.kwrite(self.active_pt, dst, &buf).expect("checked");
+                    self.cycles += cost.copy_cycles(len);
+                }
+            }
+
+            Jal { rd, imm } => {
+                self.set_reg(rd, next_pc);
+                next_pc = self.pc.wrapping_add(imm as i64 as u64);
+            }
+            Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+            }
+            Beq { rs1, rs2, imm } => {
+                if self.reg(rs1) == self.reg(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as i64 as u64);
+                }
+            }
+            Bne { rs1, rs2, imm } => {
+                if self.reg(rs1) != self.reg(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as i64 as u64);
+                }
+            }
+            Bltu { rs1, rs2, imm } => {
+                if self.reg(rs1) < self.reg(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as i64 as u64);
+                }
+            }
+            Bgeu { rs1, rs2, imm } => {
+                if self.reg(rs1) >= self.reg(rs2) {
+                    next_pc = self.pc.wrapping_add(imm as i64 as u64);
+                }
+            }
+
+            Ecall => {
+                self.cycles += cost.ecall;
+                self.pc = next_pc;
+                return StepEvent::Ecall;
+            }
+            Halt => {
+                self.pc = next_pc;
+                return StepEvent::Halt;
+            }
+            Work { rs1, imm } => {
+                let amount =
+                    if rs1 != 0 { self.reg(rs1) } else { (imm.max(0)) as u64 };
+                self.cycles += amount;
+            }
+            Crash => return self.fault(FaultKind::Crash),
+            Rdcycle { rd } => self.set_reg(rd, self.cycles),
+            CpuId { rd } => self.set_reg(rd, self.index as u64),
+
+            Swapgs => {
+                self.cycles += cost.swapgs - cost.base;
+                core::mem::swap(&mut self.gs, &mut self.shadow_gs);
+            }
+            Rdgs { rd } => self.set_reg(rd, self.gs),
+            Wrgs { rs1 } => self.gs = self.reg(rs1),
+            Wrfsbase { rs1 } => {
+                self.cycles += cost.wrfsbase - cost.base;
+                let v = self.reg(rs1);
+                self.set_reg(reg::TP, v);
+            }
+            PtSwitch { rs1 } => {
+                self.cycles += cost.pt_switch - cost.base;
+                self.active_pt = PageTableId(self.reg(rs1) as usize);
+                self.itlb.flush();
+                self.dtlb.flush();
+            }
+            Sysret { rs1 } => {
+                self.cycles += cost.sysret - cost.base;
+                self.kernel_mode = false;
+                next_pc = self.reg(rs1);
+            }
+            TagLookup { rd, rs1 } => {
+                // §4.3: "this lookup operation takes less than a L1 cache
+                // hit" — charge one extra base cycle.
+                self.cycles += 1;
+                let tag = DomainTag(self.reg(rs1) as u32);
+                let v = match self.apl_cache.hw_tag(tag) {
+                    Some(hw) => hw.0 as u64,
+                    None => u64::MAX,
+                };
+                self.set_reg(rd, v);
+            }
+
+            CapAplTake { crd, rs1, rs2, imm } => {
+                self.cycles += cost.cap_op;
+                let base = self.reg(rs1);
+                let len = self.reg(rs2);
+                match self.cap_apl_take(mem, rev, base, len, imm) {
+                    Ok(cap) => self.caps[(crd & 7) as usize] = Some(cap),
+                    Err(ev) => return ev,
+                }
+            }
+            CapSetBounds { crd, rs1, rs2 } => {
+                self.cycles += cost.cap_op;
+                let base = self.reg(rs1);
+                let len = self.reg(rs2);
+                let slot = (crd & 7) as usize;
+                let narrowed = self.caps[slot]
+                    .as_ref()
+                    .and_then(|c| c.restrict(base, len, c.perm));
+                match narrowed {
+                    Some(c) => self.caps[slot] = Some(c),
+                    None => return self.fault(FaultKind::CapInvalid),
+                }
+            }
+            CapSetPerm { crd, imm } => {
+                self.cycles += cost.cap_op;
+                let slot = (crd & 7) as usize;
+                let perm = match imm & 3 {
+                    0 => Perm::Nil,
+                    1 => Perm::Call,
+                    2 => Perm::Read,
+                    _ => Perm::Write,
+                };
+                let narrowed = self.caps[slot]
+                    .as_ref()
+                    .and_then(|c| c.restrict(c.base, c.len, perm));
+                match narrowed {
+                    Some(c) => self.caps[slot] = Some(c),
+                    None => return self.fault(FaultKind::CapInvalid),
+                }
+            }
+            CapPush { crs } => {
+                self.cycles += cost.cap_op + cost.mem;
+                // An empty register pushes the null capability (all-zero
+                // encoding); this lets trusted code spill/refill a register
+                // unconditionally (dIPC proxies preserve the return
+                // capability across nested calls this way).
+                let cap = self.caps[(crs & 7) as usize].unwrap_or(Capability {
+                    base: 0,
+                    len: 0,
+                    perm: Perm::Nil,
+                    kind: CapKind::Async,
+                    origin: DomainTag(0),
+                });
+                let slot_addr = match self.dcs.push_slot() {
+                    Ok(a) => a,
+                    Err(e) => return self.fault(FaultKind::Dcs(e)),
+                };
+                if let Err(ev) = self.capstore_page(mem, slot_addr, true) {
+                    // Roll the register back so the retried/aborted push is
+                    // side-effect free.
+                    self.dcs.pop_slot().expect("just pushed");
+                    return ev;
+                }
+                mem.kwrite(self.active_pt, slot_addr, &cap.to_bytes()).expect("checked");
+            }
+            CapPop { crd } => {
+                self.cycles += cost.cap_op + cost.mem;
+                let slot_addr = match self.dcs.pop_slot() {
+                    Ok(a) => a,
+                    Err(e) => return self.fault(FaultKind::Dcs(e)),
+                };
+                let mut b = [0u8; CAPABILITY_BYTES];
+                if mem.kread(self.active_pt, slot_addr, &mut b).is_err() {
+                    self.dcs.push_slot().expect("just popped");
+                    return self
+                        .fault(FaultKind::Mem(MemFault::Unmapped { addr: slot_addr }));
+                }
+                match Capability::from_bytes(&b) {
+                    Some(c) if c.perm == Perm::Nil => self.caps[(crd & 7) as usize] = None,
+                    Some(c) => self.caps[(crd & 7) as usize] = Some(c),
+                    None => return self.fault(FaultKind::CapInvalid),
+                }
+            }
+            CapLd { crd, rs1, imm } => {
+                self.cycles += cost.cap_op + cost.mem;
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                if let Err(ev) = self.capstore_page(mem, addr, false) {
+                    return ev;
+                }
+                if let Err(ev) =
+                    self.codoms_check(mem, rev, cost, addr, CAPABILITY_BYTES as u64, false)
+                {
+                    return ev;
+                }
+                let mut b = [0u8; CAPABILITY_BYTES];
+                mem.kread(self.active_pt, addr, &mut b).expect("checked");
+                match Capability::from_bytes(&b) {
+                    Some(c) => self.caps[(crd & 7) as usize] = Some(c),
+                    None => return self.fault(FaultKind::CapInvalid),
+                }
+            }
+            CapSt { crs, rs1, imm } => {
+                self.cycles += cost.cap_op + cost.mem;
+                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+                let cap = match self.caps[(crs & 7) as usize] {
+                    Some(c) => c,
+                    None => return self.fault(FaultKind::CapInvalid),
+                };
+                if let Err(ev) = self.capstore_page(mem, addr, true) {
+                    return ev;
+                }
+                if let Err(ev) =
+                    self.codoms_check(mem, rev, cost, addr, CAPABILITY_BYTES as u64, true)
+                {
+                    return ev;
+                }
+                mem.kwrite(self.active_pt, addr, &cap.to_bytes()).expect("checked");
+            }
+            CapClear { crd } => {
+                self.cycles += cost.cap_op;
+                self.caps[(crd & 7) as usize] = None;
+            }
+            CapMov { crd, crs } => {
+                self.cycles += cost.cap_op;
+                self.caps[(crd & 7) as usize] = self.caps[(crs & 7) as usize];
+            }
+            CapRevoke => {
+                self.cycles += cost.cap_op;
+                rev.revoke_all(self.thread);
+            }
+            DcsGetBase { rd } => self.set_reg(rd, self.dcs.base),
+            DcsSetBase { rs1 } => {
+                let v = self.reg(rs1);
+                self.dcs.base = v.clamp(self.dcs.start, self.dcs.limit);
+            }
+            DcsGetTop { rd } => self.set_reg(rd, self.dcs.top),
+            DcsSetTop { rs1 } => {
+                let v = self.reg(rs1);
+                self.dcs.top = v.clamp(self.dcs.start, self.dcs.limit);
+            }
+            DcsSetWindow { rs1, rs2 } => {
+                let start = self.reg(rs1);
+                let limit = self.reg(rs2);
+                self.dcs = Dcs::new(start, limit.max(start));
+            }
+            DcsGetStart { rd } => self.set_reg(rd, self.dcs.start),
+            DcsGetLimit { rd } => self.set_reg(rd, self.dcs.limit),
+        }
+        self.pc = next_pc;
+        StepEvent::Retired
+    }
+
+    /// Full check for a plain data access: conventional page bits, the
+    /// capability-storage tamper rule, and the CODOMs domain check.
+    fn data_access(
+        &mut self,
+        mem: &Memory,
+        rev: &RevocationTable,
+        cost: &CostModel,
+        addr: u64,
+        size: u64,
+        write: bool,
+    ) -> Result<(), StepEvent> {
+        self.cycles += cost.mem;
+        // Check every page the access touches.
+        let mut off = 0u64;
+        while off < size {
+            let a = addr + off;
+            let access = if write { Access::Write } else { Access::Read };
+            let pte = match mem.translate(self.active_pt, a, access) {
+                Ok(p) => p,
+                Err(f) if self.kernel_mode => {
+                    // Kernel mode ignores protection bits but not mapping.
+                    match f {
+                        MemFault::Unmapped { .. } => return Err(self.fault(FaultKind::Mem(f))),
+                        MemFault::Protection { .. } => {
+                            mem.table(self.active_pt).lookup(a).expect("protection implies mapped")
+                        }
+                    }
+                }
+                Err(f) => return Err(self.fault(FaultKind::Mem(f))),
+            };
+            if !self.dtlb.access(self.active_pt, a) {
+                self.cycles += cost.tlb_miss;
+            }
+            if pte.flags.contains(PageFlags::CAP_STORE) {
+                return Err(self.fault(FaultKind::CapTamper { addr: a }));
+            }
+            if !self.kernel_mode {
+                let chunk = (simmem::PAGE_SIZE - simmem::page::page_offset(a)).min(size - off);
+                match self.checker.check_data(
+                    self.cur_dom,
+                    &pte,
+                    a,
+                    chunk,
+                    write,
+                    &mut self.apl_cache,
+                    &self.caps,
+                    rev,
+                    self.thread,
+                ) {
+                    Ok(_) => {}
+                    Err(CheckError::AplMiss { tag }) => return Err(StepEvent::AplMiss(tag)),
+                    Err(e) => return Err(self.fault(FaultKind::Codoms(e))),
+                }
+            }
+            off += simmem::PAGE_SIZE - simmem::page::page_offset(a);
+        }
+        Ok(())
+    }
+
+    /// CODOMs-only check (used by CapLd/CapSt, which are allowed to touch
+    /// capability-storage pages).
+    fn codoms_check(
+        &mut self,
+        mem: &Memory,
+        rev: &RevocationTable,
+        _cost: &CostModel,
+        addr: u64,
+        size: u64,
+        write: bool,
+    ) -> Result<(), StepEvent> {
+        if self.kernel_mode {
+            return Ok(());
+        }
+        let access = if write { Access::Write } else { Access::Read };
+        let pte = match mem.translate(self.active_pt, addr, access) {
+            Ok(p) => p,
+            Err(f) => return Err(self.fault(FaultKind::Mem(f))),
+        };
+        match self.checker.check_data(
+            self.cur_dom,
+            &pte,
+            addr,
+            size,
+            write,
+            &mut self.apl_cache,
+            &self.caps,
+            rev,
+            self.thread,
+        ) {
+            Ok(_) => Ok(()),
+            Err(CheckError::AplMiss { tag }) => Err(StepEvent::AplMiss(tag)),
+            Err(e) => Err(self.fault(FaultKind::Codoms(e))),
+        }
+    }
+
+    /// Verifies that `addr` is on a mapped capability-storage page (with
+    /// write permission if `write`). DCS traffic uses this (the DCS bounds
+    /// registers are the authority, so no CODOMs check).
+    fn capstore_page(&self, mem: &Memory, addr: u64, write: bool) -> Result<(), StepEvent> {
+        let access = if write { Access::Write } else { Access::Read };
+        let pte = match mem.translate(self.active_pt, addr, access) {
+            Ok(p) => p,
+            Err(f) => return Err(self.fault(FaultKind::Mem(f))),
+        };
+        if !pte.flags.contains(PageFlags::CAP_STORE) {
+            return Err(self.fault(FaultKind::CapTamper { addr }));
+        }
+        Ok(())
+    }
+
+    fn cap_apl_take(
+        &mut self,
+        mem: &Memory,
+        rev: &RevocationTable,
+        base: u64,
+        len: u64,
+        imm: i32,
+    ) -> Result<Capability, StepEvent> {
+        if len == 0 {
+            return Err(self.fault(FaultKind::CapInvalid));
+        }
+        let perm = match imm & 3 {
+            1 => Perm::Call,
+            2 => Perm::Read,
+            3 => Perm::Write,
+            _ => return Err(self.fault(FaultKind::CapInvalid)),
+        };
+        let is_async = imm & 4 != 0;
+        // The creating domain must hold `perm` over every page in the range
+        // (via its APL or the implicit self grant).
+        let mut origin = None;
+        let mut a = base;
+        let end = match base.checked_add(len) {
+            Some(e) => e,
+            None => return Err(self.fault(FaultKind::CapInvalid)),
+        };
+        while a < end {
+            let pte = match mem.translate(self.active_pt, a, Access::Read) {
+                Ok(p) => p,
+                Err(f) => return Err(self.fault(FaultKind::Mem(f))),
+            };
+            if origin.is_none() {
+                origin = Some(pte.tag);
+            }
+            if !self.kernel_mode && pte.tag != self.cur_dom {
+                match self.apl_cache.perm(self.cur_dom, pte.tag) {
+                    Some(p) if p >= perm => {}
+                    Some(_) => {
+                        return Err(self.fault(FaultKind::Codoms(CheckError::Denied {
+                            from: self.cur_dom,
+                            to: pte.tag,
+                            addr: a,
+                        })))
+                    }
+                    None => return Err(StepEvent::AplMiss(self.cur_dom)),
+                }
+            }
+            a = simmem::page::page_align_down(a) + simmem::PAGE_SIZE;
+        }
+        let kind = if is_async {
+            CapKind::Async
+        } else {
+            CapKind::Sync { owner: self.thread, epoch: rev.epoch(self.thread) }
+        };
+        Ok(Capability {
+            base,
+            len,
+            perm,
+            kind,
+            origin: origin.expect("len > 0 implies at least one page"),
+        })
+    }
+}

@@ -1,0 +1,118 @@
+//! Disassembler for debugging and golden tests.
+
+use crate::isa::{Instr, INSTR_BYTES};
+
+/// Formats one instruction.
+pub fn disasm_one(i: &Instr) -> String {
+    use Instr::*;
+    match *i {
+        Nop => "nop".into(),
+        Movi { rd, imm } => format!("movi x{rd}, {imm}"),
+        Movhi { rd, imm } => format!("movhi x{rd}, {imm:#x}"),
+        Add { rd, rs1, rs2 } => format!("add x{rd}, x{rs1}, x{rs2}"),
+        Sub { rd, rs1, rs2 } => format!("sub x{rd}, x{rs1}, x{rs2}"),
+        Mul { rd, rs1, rs2 } => format!("mul x{rd}, x{rs1}, x{rs2}"),
+        Divu { rd, rs1, rs2 } => format!("divu x{rd}, x{rs1}, x{rs2}"),
+        Remu { rd, rs1, rs2 } => format!("remu x{rd}, x{rs1}, x{rs2}"),
+        And { rd, rs1, rs2 } => format!("and x{rd}, x{rs1}, x{rs2}"),
+        Or { rd, rs1, rs2 } => format!("or x{rd}, x{rs1}, x{rs2}"),
+        Xor { rd, rs1, rs2 } => format!("xor x{rd}, x{rs1}, x{rs2}"),
+        Sll { rd, rs1, rs2 } => format!("sll x{rd}, x{rs1}, x{rs2}"),
+        Srl { rd, rs1, rs2 } => format!("srl x{rd}, x{rs1}, x{rs2}"),
+        Sltu { rd, rs1, rs2 } => format!("sltu x{rd}, x{rs1}, x{rs2}"),
+        Addi { rd, rs1, imm } => format!("addi x{rd}, x{rs1}, {imm}"),
+        Andi { rd, rs1, imm } => format!("andi x{rd}, x{rs1}, {imm}"),
+        Ori { rd, rs1, imm } => format!("ori x{rd}, x{rs1}, {imm}"),
+        Slli { rd, rs1, imm } => format!("slli x{rd}, x{rs1}, {imm}"),
+        Srli { rd, rs1, imm } => format!("srli x{rd}, x{rs1}, {imm}"),
+        Ld { rd, rs1, imm } => format!("ld x{rd}, {imm}(x{rs1})"),
+        St { rs1, rs2, imm } => format!("st x{rs2}, {imm}(x{rs1})"),
+        Ldb { rd, rs1, imm } => format!("ldb x{rd}, {imm}(x{rs1})"),
+        Stb { rs1, rs2, imm } => format!("stb x{rs2}, {imm}(x{rs1})"),
+        MemCpy { rd, rs1, rs2 } => format!("memcpy dst=x{rd}, src=x{rs1}, len=x{rs2}"),
+        MemSet { rd, rs1, rs2 } => format!("memset dst=x{rd}, val=x{rs1}, len=x{rs2}"),
+        Jal { rd, imm } => format!("jal x{rd}, {imm}"),
+        Jalr { rd, rs1, imm } => format!("jalr x{rd}, x{rs1}, {imm}"),
+        Beq { rs1, rs2, imm } => format!("beq x{rs1}, x{rs2}, {imm}"),
+        Bne { rs1, rs2, imm } => format!("bne x{rs1}, x{rs2}, {imm}"),
+        Bltu { rs1, rs2, imm } => format!("bltu x{rs1}, x{rs2}, {imm}"),
+        Bgeu { rs1, rs2, imm } => format!("bgeu x{rs1}, x{rs2}, {imm}"),
+        Ecall => "ecall".into(),
+        Halt => "halt".into(),
+        Work { rs1, imm } => format!("work x{rs1}, {imm}"),
+        Crash => "crash".into(),
+        Rdcycle { rd } => format!("rdcycle x{rd}"),
+        CpuId { rd } => format!("cpuid x{rd}"),
+        Swapgs => "swapgs".into(),
+        Rdgs { rd } => format!("rdgs x{rd}"),
+        Wrgs { rs1 } => format!("wrgs x{rs1}"),
+        Wrfsbase { rs1 } => format!("wrfsbase x{rs1}"),
+        PtSwitch { rs1 } => format!("ptswitch x{rs1}"),
+        Sysret { rs1 } => format!("sysret x{rs1}"),
+        TagLookup { rd, rs1 } => format!("taglookup x{rd}, x{rs1}"),
+        CapAplTake { crd, rs1, rs2, imm } => {
+            format!("cap.apltake c{crd}, [x{rs1}, +x{rs2}), {imm:#b}")
+        }
+        CapSetBounds { crd, rs1, rs2 } => format!("cap.setbounds c{crd}, [x{rs1}, +x{rs2})"),
+        CapSetPerm { crd, imm } => format!("cap.setperm c{crd}, {imm}"),
+        CapPush { crs } => format!("cap.push c{crs}"),
+        CapPop { crd } => format!("cap.pop c{crd}"),
+        CapLd { crd, rs1, imm } => format!("cap.ld c{crd}, {imm}(x{rs1})"),
+        CapSt { crs, rs1, imm } => format!("cap.st c{crs}, {imm}(x{rs1})"),
+        CapClear { crd } => format!("cap.clear c{crd}"),
+        CapMov { crd, crs } => format!("cap.mov c{crd}, c{crs}"),
+        CapRevoke => "cap.revoke".into(),
+        DcsGetBase { rd } => format!("dcs.getbase x{rd}"),
+        DcsSetBase { rs1 } => format!("dcs.setbase x{rs1}"),
+        DcsGetTop { rd } => format!("dcs.gettop x{rd}"),
+        DcsSetTop { rs1 } => format!("dcs.settop x{rs1}"),
+        DcsSetWindow { rs1, rs2 } => format!("dcs.setwindow x{rs1}, x{rs2}"),
+        DcsGetStart { rd } => format!("dcs.getstart x{rd}"),
+        DcsGetLimit { rd } => format!("dcs.getlimit x{rd}"),
+    }
+}
+
+/// Disassembles a byte buffer, one line per instruction.
+pub fn disasm(code: &[u8], base: u64) -> String {
+    let mut out = String::new();
+    for (i, chunk) in code.chunks(INSTR_BYTES as usize).enumerate() {
+        let addr = base + i as u64 * INSTR_BYTES;
+        let line = match chunk.try_into().ok().and_then(|b: [u8; 8]| Instr::decode(&b)) {
+            Some(instr) => disasm_one(&instr),
+            None => "<bad>".into(),
+        };
+        out.push_str(&format!("{addr:#010x}: {line}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::reg::*;
+
+    #[test]
+    fn disasm_smoke() {
+        let mut a = Asm::new();
+        a.li(A0, 5);
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: A0 });
+        a.push(Instr::Halt);
+        let p = a.finish();
+        let text = disasm(&p.bytes, 0x1000);
+        assert!(text.contains("0x00001000: movi x10, 5"));
+        assert!(text.contains("add x10, x10, x10"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn every_opcode_has_text() {
+        // Decode each known opcode and ensure disasm does not panic.
+        for op in 0u8..=60 {
+            let b = [op, 1, 2, 3, 4, 0, 0, 0];
+            if let Some(i) = Instr::decode(&b) {
+                assert!(!disasm_one(&i).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the VM: codec round-trips and assembler laws.
+
+use cdvm::isa::Instr;
+use cdvm::{Asm, CostModel};
+use proptest::prelude::*;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    // Cover every opcode with random fields (fields are masked/validated by
+    // decode, so generating via encode+decode keeps them canonical).
+    (0u8..=60, 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_filter_map(
+        "valid opcode",
+        |(op, rd, rs1, rs2, imm)| {
+            let mut b = [0u8; 8];
+            b[0] = op;
+            b[1] = rd;
+            b[2] = rs1;
+            b[3] = rs2;
+            b[4..8].copy_from_slice(&imm.to_le_bytes());
+            Instr::decode(&b)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in arb_instr()) {
+        prop_assert_eq!(Instr::decode(&i.encode()), Some(i));
+    }
+
+    #[test]
+    fn li_materializes_any_constant(v in any::<u64>()) {
+        // Assemble `li a0, v` and symbolically execute the 1-2 move
+        // instructions to verify the constant.
+        let mut a = Asm::new();
+        a.li(10, v);
+        let p = a.finish();
+        let mut reg = 0u64;
+        for chunk in p.bytes.chunks(8) {
+            let i = Instr::decode(chunk.try_into().unwrap()).unwrap();
+            match i {
+                Instr::Movi { imm, .. } => reg = imm as i64 as u64,
+                Instr::Movhi { imm, .. } => {
+                    reg = (reg & 0xffff_ffff) | ((imm as u32 as u64) << 32)
+                }
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+        prop_assert_eq!(reg, v);
+    }
+
+    #[test]
+    fn ns_cycles_conversion_consistent(cycles in 0u64..1 << 40) {
+        let c = CostModel::default();
+        let ns = c.ns(cycles);
+        let back = c.cycles_from_ns(ns);
+        // Round-trip within rounding error.
+        prop_assert!(back.abs_diff(cycles) <= 1);
+    }
+
+    #[test]
+    fn branch_targets_resolve(n_pad in 0usize..50) {
+        let mut a = Asm::new();
+        a.j("end");
+        for _ in 0..n_pad {
+            a.push(Instr::Nop);
+        }
+        a.label("end");
+        a.push(Instr::Halt);
+        let p = a.finish();
+        let jal = Instr::decode(p.bytes[0..8].try_into().unwrap()).unwrap();
+        match jal {
+            Instr::Jal { imm, .. } => {
+                prop_assert_eq!(imm as usize, (n_pad + 1) * 8);
+            }
+            other => prop_assert!(false, "expected jal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Access Protection Lists and the kernel-side domain table.
+//!
+//! "CODOMs associates every tag (or domain) T with an Access Protection List
+//! (APL): a list of tags in the same address space that code pages in domain
+//! T can access, along with their access permissions" (§4.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+use simmem::DomainTag;
+
+/// APL permission lattice: `Nil < Call < Read < Write` (§4.1).
+///
+/// * `Call` — may call into *aligned public entry points* of the domain.
+/// * `Read` — may read data and call/jump to *arbitrary* addresses.
+/// * `Write` — read plus write.
+///
+/// CODOMs still honors the per-page protection bits on top of these.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Perm {
+    /// No access.
+    Nil,
+    /// Call into aligned entry points.
+    Call,
+    /// Read data; jump anywhere.
+    Read,
+    /// Read and write.
+    Write,
+}
+
+impl core::fmt::Display for Perm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Perm::Nil => "nil",
+            Perm::Call => "call",
+            Perm::Read => "read",
+            Perm::Write => "write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The APL of one domain: target tag → permission.
+///
+/// A domain always has implicit write access to itself ("domain B has
+/// implicit read-write access to itself", Figure 4), which is *not* stored in
+/// the map.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Apl {
+    grants: BTreeMap<DomainTag, Perm>,
+}
+
+impl Apl {
+    /// Creates an empty APL (access only to the domain's own pages).
+    pub fn new() -> Apl {
+        Apl::default()
+    }
+
+    /// Sets the permission toward `dst`. `Perm::Nil` removes the entry
+    /// (used by `grant_revoke`).
+    pub fn set(&mut self, dst: DomainTag, perm: Perm) {
+        if perm == Perm::Nil {
+            self.grants.remove(&dst);
+        } else {
+            self.grants.insert(dst, perm);
+        }
+    }
+
+    /// Returns the permission this APL grants toward `dst` (not counting the
+    /// implicit self grant — callers pass the *source* tag separately).
+    pub fn get(&self, dst: DomainTag) -> Perm {
+        self.grants.get(&dst).copied().unwrap_or(Perm::Nil)
+    }
+
+    /// Iterates over explicit grants.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainTag, Perm)> + '_ {
+        self.grants.iter().map(|(t, p)| (*t, *p))
+    }
+
+    /// Number of explicit grants.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// True if there are no explicit grants.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+/// Kernel-side registry of all domains in one (shared) address space.
+///
+/// This is privileged software state: the hardware only ever sees APLs via
+/// the per-CPU APL cache, which the kernel refills from this table on a miss
+/// exception.
+pub struct DomainTable {
+    domains: HashMap<DomainTag, Apl>,
+    next_tag: u32,
+}
+
+impl Default for DomainTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DomainTable {
+    /// Creates a table containing only the kernel domain (tag 0), whose APL
+    /// is empty (kernel code accesses memory via its privileged mappings,
+    /// not via APLs).
+    pub fn new() -> DomainTable {
+        let mut domains = HashMap::new();
+        domains.insert(DomainTag::KERNEL, Apl::new());
+        DomainTable { domains, next_tag: 1 }
+    }
+
+    /// Allocates a fresh domain tag with an empty APL.
+    ///
+    /// "New domains are isolated from other domains (are not added to any
+    /// CODOMs APL)" (§5.2) — property P1's default-deny baseline.
+    pub fn create(&mut self) -> DomainTag {
+        let tag = DomainTag(self.next_tag);
+        self.next_tag += 1;
+        self.domains.insert(tag, Apl::new());
+        tag
+    }
+
+    /// Destroys a domain, removing its APL and any grants *toward* it from
+    /// other domains' APLs.
+    pub fn destroy(&mut self, tag: DomainTag) {
+        self.domains.remove(&tag);
+        for apl in self.domains.values_mut() {
+            apl.set(tag, Perm::Nil);
+        }
+    }
+
+    /// Returns the APL of `tag`, if the domain exists.
+    pub fn apl(&self, tag: DomainTag) -> Option<&Apl> {
+        self.domains.get(&tag)
+    }
+
+    /// Sets `src`'s permission toward `dst` (the `grant_create` /
+    /// `grant_revoke` back end).
+    ///
+    /// Returns `false` if either domain does not exist.
+    pub fn set_grant(&mut self, src: DomainTag, dst: DomainTag, perm: Perm) -> bool {
+        if !self.domains.contains_key(&dst) && perm != Perm::Nil {
+            return false;
+        }
+        match self.domains.get_mut(&src) {
+            Some(apl) => {
+                apl.set(dst, perm);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Permission `src` holds toward `dst`, including the implicit self
+    /// write grant.
+    pub fn perm(&self, src: DomainTag, dst: DomainTag) -> Perm {
+        if src == dst {
+            return Perm::Write;
+        }
+        self.domains.get(&src).map(|a| a.get(dst)).unwrap_or(Perm::Nil)
+    }
+
+    /// True if `tag` exists.
+    pub fn exists(&self, tag: DomainTag) -> bool {
+        self.domains.contains_key(&tag)
+    }
+
+    /// Number of live domains (including the kernel domain).
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Never true — the kernel domain always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_lattice_order() {
+        assert!(Perm::Nil < Perm::Call);
+        assert!(Perm::Call < Perm::Read);
+        assert!(Perm::Read < Perm::Write);
+    }
+
+    #[test]
+    fn apl_set_get_revoke() {
+        let mut apl = Apl::new();
+        let t = DomainTag(7);
+        assert_eq!(apl.get(t), Perm::Nil);
+        apl.set(t, Perm::Read);
+        assert_eq!(apl.get(t), Perm::Read);
+        apl.set(t, Perm::Nil);
+        assert_eq!(apl.get(t), Perm::Nil);
+        assert!(apl.is_empty());
+    }
+
+    #[test]
+    fn new_domains_are_isolated() {
+        let mut dt = DomainTable::new();
+        let a = dt.create();
+        let b = dt.create();
+        assert_ne!(a, b);
+        assert_eq!(dt.perm(a, b), Perm::Nil);
+        assert_eq!(dt.perm(b, a), Perm::Nil);
+        // Implicit self access.
+        assert_eq!(dt.perm(a, a), Perm::Write);
+    }
+
+    #[test]
+    fn grants_are_directional() {
+        let mut dt = DomainTable::new();
+        let a = dt.create();
+        let b = dt.create();
+        assert!(dt.set_grant(a, b, Perm::Call));
+        assert_eq!(dt.perm(a, b), Perm::Call);
+        assert_eq!(dt.perm(b, a), Perm::Nil, "grants are not symmetric");
+    }
+
+    #[test]
+    fn destroy_scrubs_grants() {
+        let mut dt = DomainTable::new();
+        let a = dt.create();
+        let b = dt.create();
+        dt.set_grant(a, b, Perm::Write);
+        dt.destroy(b);
+        assert!(!dt.exists(b));
+        assert_eq!(dt.perm(a, b), Perm::Nil);
+        assert_eq!(dt.apl(a).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn grant_to_missing_domain_fails() {
+        let mut dt = DomainTable::new();
+        let a = dt.create();
+        assert!(!dt.set_grant(a, DomainTag(999), Perm::Read));
+        assert!(!dt.set_grant(DomainTag(999), a, Perm::Read));
+        // Revoking toward a missing domain is fine (idempotent).
+        assert!(dt.set_grant(a, DomainTag(999), Perm::Nil));
+    }
+
+    #[test]
+    fn tags_are_never_reused() {
+        let mut dt = DomainTable::new();
+        let a = dt.create();
+        dt.destroy(a);
+        let b = dt.create();
+        assert_ne!(a, b, "destroyed tags must not be recycled");
+    }
+}

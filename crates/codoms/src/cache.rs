@@ -1,0 +1,216 @@
+//! The per-hardware-thread, software-managed APL cache (§4.1, §4.3).
+//!
+//! "CODOMs has an independent software-managed APL cache for each hardware
+//! thread, which contains the access grant information of recently executed
+//! domains." The dIPC extension (§4.3) maps each cached domain tag to a 5-bit
+//! *hardware domain tag* (32 entries ⇒ 5 bits) and adds a privileged
+//! instruction to retrieve it; dIPC proxies use the hardware tag as an index
+//! into a per-CPU process-tracking array (§6.1.2).
+//!
+//! Being software-managed, a miss raises an exception and the OS refills the
+//! cache from the [`crate::apl::DomainTable`]; the scheduler may also swap an
+//! APL cache's contents during a context switch (lazily, "akin to the FPU or
+//! vector registers", §7.5).
+
+use simmem::DomainTag;
+
+use crate::apl::{Apl, Perm};
+
+/// Number of APL cache entries per hardware thread.
+pub const APL_CACHE_ENTRIES: usize = 32;
+
+/// A hardware domain tag: the index of a domain's APL-cache slot (5 bits for
+/// a 32-entry cache).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HwTag(pub u8);
+
+#[derive(Clone)]
+struct Slot {
+    tag: DomainTag,
+    apl: Apl,
+    lru: u64,
+}
+
+/// The APL cache of one hardware thread.
+#[derive(Clone)]
+pub struct AplCache {
+    slots: Vec<Option<Slot>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for AplCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AplCache {
+    /// Creates an empty cache.
+    pub fn new() -> AplCache {
+        AplCache { slots: vec![None; APL_CACHE_ENTRIES], tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Looks up a domain's cached APL. Returns `None` on a miss (the caller
+    /// must raise the miss exception so the OS can [`AplCache::fill`]).
+    pub fn lookup(&mut self, tag: DomainTag) -> Option<(HwTag, &Apl)> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .find(|(_, s)| s.as_ref().is_some_and(|s| s.tag == tag))
+        {
+            Some((i, slot)) => {
+                let slot = slot.as_mut().expect("matched above");
+                slot.lru = tick;
+                self.hits += 1;
+                Some((HwTag(i as u8), &self.slots[i].as_ref().expect("matched above").apl))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The dIPC §4.3 extension: privileged lookup of the hardware domain tag
+    /// for a cached domain. "Since the cache is quite small, this lookup
+    /// operation takes less than a L1 cache hit."
+    pub fn hw_tag(&self, tag: DomainTag) -> Option<HwTag> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.tag == tag))
+            .map(|i| HwTag(i as u8))
+    }
+
+    /// Software refill after a miss: installs `tag`'s APL, evicting the LRU
+    /// slot if full. Returns the assigned hardware tag and the evicted
+    /// domain's tag (if any).
+    pub fn fill(&mut self, tag: DomainTag, apl: Apl) -> (HwTag, Option<DomainTag>) {
+        self.tick += 1;
+        if let Some(i) = self.slots.iter().position(Option::is_none) {
+            self.slots[i] = Some(Slot { tag, apl, lru: self.tick });
+            return (HwTag(i as u8), None);
+        }
+        let (victim_idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.as_ref().map(|s| s.lru).unwrap_or(0))
+            .expect("cache is non-empty");
+        let evicted = self.slots[victim_idx].as_ref().map(|s| s.tag);
+        self.slots[victim_idx] = Some(Slot { tag, apl, lru: self.tick });
+        (HwTag(victim_idx as u8), evicted)
+    }
+
+    /// Invalidates a domain's slot (grant revocation / domain destruction
+    /// must not leave stale hardware state).
+    pub fn invalidate(&mut self, tag: DomainTag) {
+        for slot in &mut self.slots {
+            if slot.as_ref().is_some_and(|s| s.tag == tag) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Updates the cached APL of `tag` in place, if present (grant create /
+    /// revoke on a currently-cached domain).
+    pub fn update(&mut self, tag: DomainTag, apl: Apl) {
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.tag == tag {
+                slot.apl = apl;
+                return;
+            }
+        }
+    }
+
+    /// Convenience: the permission `src` holds toward `dst` according to the
+    /// cache, or `None` if `src` is not cached.
+    pub fn perm(&mut self, src: DomainTag, dst: DomainTag) -> Option<Perm> {
+        if src == dst {
+            return Some(Perm::Write);
+        }
+        self.lookup(src).map(|(_, apl)| apl.get(dst))
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of occupied slots.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apl_with(dst: DomainTag, p: Perm) -> Apl {
+        let mut apl = Apl::new();
+        apl.set(dst, p);
+        apl
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut c = AplCache::new();
+        let a = DomainTag(1);
+        let b = DomainTag(2);
+        assert!(c.lookup(a).is_none());
+        let (hw, evicted) = c.fill(a, apl_with(b, Perm::Read));
+        assert_eq!(evicted, None);
+        let (hw2, apl) = c.lookup(a).expect("hit after fill");
+        assert_eq!(hw, hw2);
+        assert_eq!(apl.get(b), Perm::Read);
+    }
+
+    #[test]
+    fn hw_tag_is_stable_and_5_bits() {
+        let mut c = AplCache::new();
+        for i in 1..=APL_CACHE_ENTRIES as u32 {
+            let (hw, _) = c.fill(DomainTag(i), Apl::new());
+            assert!(hw.0 < 32);
+        }
+        assert_eq!(c.occupancy(), APL_CACHE_ENTRIES);
+        assert_eq!(c.hw_tag(DomainTag(1)), Some(HwTag(0)));
+    }
+
+    #[test]
+    fn lru_eviction_when_full() {
+        let mut c = AplCache::new();
+        for i in 1..=APL_CACHE_ENTRIES as u32 {
+            c.fill(DomainTag(i), Apl::new());
+        }
+        // Touch tag 1 so it is MRU; tag 2 becomes LRU.
+        assert!(c.lookup(DomainTag(1)).is_some());
+        let (_, evicted) = c.fill(DomainTag(100), Apl::new());
+        assert_eq!(evicted, Some(DomainTag(2)));
+        assert!(c.lookup(DomainTag(1)).is_some());
+        assert!(c.lookup(DomainTag(2)).is_none());
+    }
+
+    #[test]
+    fn invalidate_and_update() {
+        let mut c = AplCache::new();
+        let a = DomainTag(1);
+        let b = DomainTag(2);
+        c.fill(a, apl_with(b, Perm::Write));
+        c.update(a, apl_with(b, Perm::Call));
+        assert_eq!(c.perm(a, b), Some(Perm::Call));
+        c.invalidate(a);
+        assert!(c.lookup(a).is_none());
+    }
+
+    #[test]
+    fn self_access_is_implicit() {
+        let mut c = AplCache::new();
+        let a = DomainTag(1);
+        assert_eq!(c.perm(a, a), Some(Perm::Write));
+    }
+}

@@ -1,0 +1,152 @@
+//! The per-thread Domain Capability Stack (DCS).
+//!
+//! "All capabilities can be spilled to a per-thread domain capability stack
+//! (DCS), which is bounded by two registers that can only be modified by
+//! unprivileged code through capability push/pop instructions" (§4.2).
+//!
+//! The DCS is modeled as a register pair over a kernel-assigned buffer:
+//!
+//! * `base`  — the floor: pops may not descend below it. dIPC proxies raise
+//!   the base across calls to hide the caller's non-argument entries (DCS
+//!   integrity, §5.2.3) and restore it on return.
+//! * `top`   — the stack pointer (grows upward in 32-byte slots).
+//!
+//! The buffer bounds (`start`, `limit`) are privileged state set by the
+//! kernel when the thread is created or its DCS is switched (DCS
+//! confidentiality+integrity uses "a separate capability stack for each
+//! domain").
+
+use crate::cap::CAPABILITY_BYTES;
+
+/// Errors from DCS register manipulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcsError {
+    /// Push beyond the buffer limit.
+    Overflow,
+    /// Pop below the visible base.
+    Underflow,
+}
+
+/// The DCS register state of one thread.
+///
+/// The actual 32-byte slots live in simulated memory (capability-storage
+/// pages); this struct only tracks the architectural registers and enforces
+/// their invariants. The VM performs the memory traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dcs {
+    /// Buffer start (privileged).
+    pub start: u64,
+    /// Buffer end, exclusive (privileged).
+    pub limit: u64,
+    /// Visible floor (unprivileged code cannot pop below this; proxies
+    /// adjust it for DCS integrity).
+    pub base: u64,
+    /// Current stack pointer (next free slot).
+    pub top: u64,
+}
+
+impl Dcs {
+    /// Creates a DCS over `[start, limit)` with an empty stack.
+    pub fn new(start: u64, limit: u64) -> Dcs {
+        assert!(start <= limit);
+        assert_eq!((limit - start) % CAPABILITY_BYTES as u64, 0);
+        Dcs { start, limit, base: start, top: start }
+    }
+
+    /// Reserves a slot for a push, returning the slot's address.
+    pub fn push_slot(&mut self) -> Result<u64, DcsError> {
+        if self.top + CAPABILITY_BYTES as u64 > self.limit {
+            return Err(DcsError::Overflow);
+        }
+        let addr = self.top;
+        self.top += CAPABILITY_BYTES as u64;
+        Ok(addr)
+    }
+
+    /// Releases the top slot for a pop, returning the slot's address.
+    pub fn pop_slot(&mut self) -> Result<u64, DcsError> {
+        if self.top < self.base + CAPABILITY_BYTES as u64 {
+            return Err(DcsError::Underflow);
+        }
+        self.top -= CAPABILITY_BYTES as u64;
+        Ok(self.top)
+    }
+
+    /// Number of capability slots currently visible (between base and top).
+    pub fn depth(&self) -> u64 {
+        (self.top - self.base) / CAPABILITY_BYTES as u64
+    }
+
+    /// Privileged: raise the base to hide all but the top `keep` entries
+    /// (DCS integrity in `isolate_pcall`). Returns the previous base so the
+    /// proxy can restore it in `deisolate_pcall`.
+    pub fn isolate_keep_top(&mut self, keep: u64) -> u64 {
+        let old = self.base;
+        let keep_bytes = keep * CAPABILITY_BYTES as u64;
+        self.base = self.top.saturating_sub(keep_bytes).max(self.base);
+        old
+    }
+
+    /// Privileged: restore a previously saved base.
+    pub fn restore_base(&mut self, base: u64) {
+        debug_assert!(base >= self.start && base <= self.limit);
+        self.base = base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CB: u64 = CAPABILITY_BYTES as u64;
+
+    #[test]
+    fn push_pop_lifo_addresses() {
+        let mut d = Dcs::new(0x1000, 0x1000 + 4 * CB);
+        let a0 = d.push_slot().unwrap();
+        let a1 = d.push_slot().unwrap();
+        assert_eq!(a1, a0 + CB);
+        assert_eq!(d.depth(), 2);
+        assert_eq!(d.pop_slot().unwrap(), a1);
+        assert_eq!(d.pop_slot().unwrap(), a0);
+        assert_eq!(d.pop_slot(), Err(DcsError::Underflow));
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut d = Dcs::new(0, 2 * CB);
+        d.push_slot().unwrap();
+        d.push_slot().unwrap();
+        assert_eq!(d.push_slot(), Err(DcsError::Overflow));
+    }
+
+    #[test]
+    fn isolation_hides_callers_entries() {
+        let mut d = Dcs::new(0, 8 * CB);
+        for _ in 0..4 {
+            d.push_slot().unwrap();
+        }
+        // Proxy passes 1 capability argument; hide the other 3.
+        let saved = d.isolate_keep_top(1);
+        assert_eq!(d.depth(), 1);
+        d.pop_slot().unwrap(); // callee consumes the argument
+        assert_eq!(d.pop_slot(), Err(DcsError::Underflow), "caller entries hidden");
+        d.restore_base(saved);
+        assert_eq!(d.depth(), 3, "caller sees its remaining entries again");
+    }
+
+    #[test]
+    fn isolate_never_lowers_base() {
+        let mut d = Dcs::new(0, 8 * CB);
+        d.push_slot().unwrap();
+        let saved = d.isolate_keep_top(0);
+        assert_eq!(d.depth(), 0);
+        // A nested isolate asking to "keep" more than exists must not expose
+        // entries below the current base.
+        let saved2 = d.isolate_keep_top(5);
+        assert_eq!(d.depth(), 0);
+        d.restore_base(saved2);
+        d.restore_base(saved);
+        assert_eq!(d.depth(), 1);
+    }
+}

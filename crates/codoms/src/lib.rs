@@ -1,0 +1,36 @@
+//! The CODOMs protection architecture (Vilanova et al., ISCA'14), as
+//! summarized in §4 of the dIPC paper, plus the dIPC-specific extension of
+//! §4.3 (privileged hardware-domain-tag lookup).
+//!
+//! CODOMs provides *code-centric* domain isolation: "the instruction pointer
+//! is the subject of access control checks". Pages carry a domain tag; every
+//! domain (tag) has an Access Protection List (APL) naming the tags it may
+//! call/read/write; a small per-hardware-thread software-managed APL cache
+//! makes checks free on the fast path; and eight per-thread capability
+//! registers provide transient data-sharing grants that are checked in
+//! parallel with the APL.
+//!
+//! Module map:
+//! * [`apl`] — the permission lattice, APLs, and the kernel-side domain table.
+//! * [`cache`] — the 32-entry software-managed APL cache and 5-bit hardware
+//!   domain tags.
+//! * [`cap`] — capabilities, capability registers, revocation counters, and
+//!   the 32-byte in-memory capability format.
+//! * [`dcs`] — the per-thread domain capability stack.
+//! * [`check`] — the combined access-check engine used by the VM on every
+//!   memory access and control transfer.
+//! * [`archcmp`] — the Table 1 model comparing best-case domain-switch
+//!   sequences on Conventional / CHERI / MMP / CODOMs machines.
+
+pub mod apl;
+pub mod archcmp;
+pub mod cache;
+pub mod cap;
+pub mod check;
+pub mod dcs;
+
+pub use apl::{Apl, DomainTable, Perm};
+pub use cache::{AplCache, HwTag, APL_CACHE_ENTRIES};
+pub use cap::{CapKind, CapPerm, Capability, RevocationTable, CAPABILITY_BYTES, CAP_REGS};
+pub use check::{AccessDecision, CheckError, Checker, ENTRY_ALIGN};
+pub use dcs::Dcs;

@@ -1,0 +1,124 @@
+//! Property-based tests for the CODOMs protection model.
+
+use codoms::apl::{Apl, DomainTable, Perm};
+use codoms::cap::{CapKind, Capability, RevocationTable, CAPABILITY_BYTES};
+use codoms::{AplCache, Dcs};
+use proptest::prelude::*;
+use simmem::DomainTag;
+
+fn arb_perm() -> impl Strategy<Value = Perm> {
+    prop_oneof![
+        Just(Perm::Nil),
+        Just(Perm::Call),
+        Just(Perm::Read),
+        Just(Perm::Write)
+    ]
+}
+
+fn arb_cap() -> impl Strategy<Value = Capability> {
+    (0u64..1 << 40, 1u64..1 << 20, arb_perm(), any::<bool>(), 0u32..64, 0u64..8, 0u64..4).prop_map(
+        |(base, len, perm, is_async, origin, owner, epoch)| Capability {
+            base,
+            len,
+            perm,
+            kind: if is_async { CapKind::Async } else { CapKind::Sync { owner, epoch } },
+            origin: DomainTag(origin),
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn capability_bytes_roundtrip(cap in arb_cap()) {
+        let b = cap.to_bytes();
+        prop_assert_eq!(b.len(), CAPABILITY_BYTES);
+        prop_assert_eq!(Capability::from_bytes(&b), Some(cap));
+    }
+
+    #[test]
+    fn restrict_never_widens(
+        cap in arb_cap(),
+        base in 0u64..1 << 41,
+        len in 0u64..1 << 21,
+        perm in arb_perm(),
+    ) {
+        if let Some(r) = cap.restrict(base, len, perm) {
+            prop_assert!(r.base >= cap.base);
+            prop_assert!(r.base + r.len <= cap.base + cap.len);
+            prop_assert!(r.perm <= cap.perm);
+            // Everything the restricted capability covers, the original
+            // covered too.
+            for probe in [r.base, r.base + r.len.saturating_sub(1)] {
+                if r.covers(probe, 1) {
+                    prop_assert!(cap.covers(probe, 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covers_is_range_containment(cap in arb_cap(), addr in 0u64..1 << 41, size in 1u64..4096) {
+        let c = cap.covers(addr, size);
+        let manual = addr >= cap.base
+            && addr.checked_add(size).is_some_and(|e| e <= cap.base + cap.len);
+        prop_assert_eq!(c, manual);
+    }
+
+    #[test]
+    fn revocation_is_monotonic(threads in prop::collection::vec(0u64..4, 1..20)) {
+        let mut rt = RevocationTable::new();
+        let caps: Vec<Capability> = (0..4u64)
+            .map(|t| Capability {
+                base: 0,
+                len: 8,
+                perm: Perm::Read,
+                kind: CapKind::Sync { owner: t, epoch: 0 },
+                origin: DomainTag(1),
+            })
+            .collect();
+        for t in threads {
+            rt.revoke_all(t);
+            // Once revoked, a sync cap never becomes valid again.
+            prop_assert!(!rt.is_valid(&caps[t as usize], t));
+        }
+    }
+
+    #[test]
+    fn apl_cache_agrees_with_domain_table(
+        grants in prop::collection::vec((1u32..12, 1u32..12, arb_perm()), 0..30),
+        queries in prop::collection::vec((1u32..12, 1u32..12), 1..30),
+    ) {
+        let mut dt = DomainTable::new();
+        let tags: Vec<DomainTag> = (0..12).map(|_| dt.create()).collect();
+        let _ = tags;
+        let mut cache = AplCache::new();
+        for (s, d, p) in grants {
+            dt.set_grant(DomainTag(s), DomainTag(d), p);
+        }
+        for (s, d) in queries {
+            let (src, dst) = (DomainTag(s), DomainTag(d));
+            // Software refill on miss, exactly like the kernel.
+            if cache.lookup(src).is_none() {
+                cache.fill(src, dt.apl(src).unwrap().clone());
+            }
+            prop_assert_eq!(cache.perm(src, dst), Some(dt.perm(src, dst)));
+        }
+    }
+
+    #[test]
+    fn dcs_depth_is_push_minus_pop(ops in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut d = Dcs::new(0x1000, 0x1000 + 32 * 32);
+        let mut depth: i64 = 0;
+        for push in ops {
+            if push {
+                if d.push_slot().is_ok() {
+                    depth += 1;
+                }
+            } else if d.pop_slot().is_ok() {
+                depth -= 1;
+            }
+            prop_assert!(depth >= 0);
+            prop_assert_eq!(d.depth() as i64, depth);
+        }
+    }
+}

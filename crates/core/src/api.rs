@@ -1,0 +1,273 @@
+//! dIPC object handles, entry signatures and isolation properties.
+//!
+//! These mirror Table 2 of the paper. Handles are process-local references
+//! to kernel objects (in the real system they live in the fd table and can
+//! be passed over sockets like any file descriptor).
+
+use simmem::DomainTag;
+
+/// Permission carried by a domain handle: `nil < call < read < write <
+/// owner` (Table 2: "ordered set"). `Owner` exists "only in software" and
+/// additionally allows managing the domain's APL and memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum HandlePerm {
+    /// No rights.
+    Nil,
+    /// Call into entry points.
+    Call,
+    /// Read (and jump anywhere).
+    Read,
+    /// Read + write.
+    Write,
+    /// Full management rights.
+    Owner,
+}
+
+impl HandlePerm {
+    /// The CODOMs APL permission this handle permission grants when used as
+    /// the destination of `grant_create` ("If Dst has the owner permission,
+    /// dIPC translates it into the write permission in CODOMs", §5.2.2).
+    pub fn to_apl(self) -> codoms::Perm {
+        match self {
+            HandlePerm::Nil => codoms::Perm::Nil,
+            HandlePerm::Call => codoms::Perm::Call,
+            HandlePerm::Read => codoms::Perm::Read,
+            HandlePerm::Write | HandlePerm::Owner => codoms::Perm::Write,
+        }
+    }
+}
+
+/// An opaque dIPC handle (domain, grant, or entry-point handle).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Handle(pub u64);
+
+/// The signature of an entry point (Table 2: "number of input/output
+/// registers and stack size").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Signature {
+    /// Number of register arguments (a0..).
+    pub args: u8,
+    /// Number of register results (a0..).
+    pub rets: u8,
+    /// Bytes of stack-passed arguments.
+    pub stack_bytes: u32,
+    /// Number of capability-register arguments (c0..).
+    pub cap_args: u8,
+}
+
+impl Signature {
+    /// A register-only signature.
+    pub const fn regs(args: u8, rets: u8) -> Signature {
+        Signature { args, rets, stack_bytes: 0, cap_args: 0 }
+    }
+
+    /// Packs into a u64 (for the in-memory entry descriptors used by the
+    /// dIPC syscalls).
+    pub fn pack(&self) -> u64 {
+        (self.args as u64)
+            | (self.rets as u64) << 8
+            | (self.cap_args as u64) << 16
+            | (self.stack_bytes as u64) << 32
+    }
+
+    /// Unpacks from a u64.
+    pub fn unpack(v: u64) -> Signature {
+        Signature {
+            args: (v & 0xff) as u8,
+            rets: ((v >> 8) & 0xff) as u8,
+            cap_args: ((v >> 16) & 0xff) as u8,
+            stack_bytes: (v >> 32) as u32,
+        }
+    }
+}
+
+/// Isolation properties (§5.2.3). Stored as a bit set; `u8`-packed in entry
+/// descriptors.
+///
+/// Where each property is *implemented* follows the paper:
+/// * register integrity/confidentiality and data-stack integrity live in
+///   untrusted, compiler-generated **stubs** ([`crate::stubs`]);
+/// * data-stack confidentiality+integrity, DCS integrity and DCS
+///   confidentiality+integrity live in the trusted **proxy**
+///   ([`crate::proxy`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct IsoProps(pub u8);
+
+impl IsoProps {
+    /// No isolation beyond the CODOMs baseline (domains cannot touch each
+    /// other's memory; calls and returns are still guaranteed by the proxy).
+    pub const NONE: IsoProps = IsoProps(0);
+    /// Register integrity: save live registers across the call (stub).
+    pub const REG_INTEGRITY: IsoProps = IsoProps(1 << 0);
+    /// Register confidentiality: zero non-argument/non-result registers
+    /// (stub).
+    pub const REG_CONF: IsoProps = IsoProps(1 << 1);
+    /// Data-stack integrity: capabilities over argument + unused stack
+    /// areas (stub).
+    pub const STACK_INTEGRITY: IsoProps = IsoProps(1 << 2);
+    /// Data-stack confidentiality + integrity: split stacks, proxy switches
+    /// and copies arguments (proxy).
+    pub const STACK_CONF: IsoProps = IsoProps(1 << 3);
+    /// DCS integrity: hide the caller's non-argument DCS entries (proxy).
+    pub const DCS_INTEGRITY: IsoProps = IsoProps(1 << 4);
+    /// DCS confidentiality + integrity: separate DCS per domain (proxy).
+    pub const DCS_CONF: IsoProps = IsoProps(1 << 5);
+
+    /// The paper's "Low" policy: a minimal non-trivial policy (§7.2) —
+    /// nothing beyond proxy-guaranteed call/return correctness.
+    pub const LOW: IsoProps = IsoProps(0);
+
+    /// The paper's "High" policy: "equivalent to process isolation" (§7.2)
+    /// — everything on.
+    pub const HIGH: IsoProps = IsoProps(
+        Self::REG_INTEGRITY.0
+            | Self::REG_CONF.0
+            | Self::STACK_INTEGRITY.0
+            | Self::STACK_CONF.0
+            | Self::DCS_INTEGRITY.0
+            | Self::DCS_CONF.0,
+    );
+
+    /// Set union (the per-entry policy is the union of caller- and
+    /// callee-requested properties, Table 2).
+    pub fn union(self, other: IsoProps) -> IsoProps {
+        IsoProps(self.0 | other.0)
+    }
+
+    /// Does this set contain all bits of `p`?
+    pub fn contains(self, p: IsoProps) -> bool {
+        self.0 & p.0 == p.0
+    }
+
+    /// The subset implemented by the trusted proxy.
+    pub fn proxy_side(self) -> IsoProps {
+        IsoProps(self.0 & (Self::STACK_CONF.0 | Self::DCS_INTEGRITY.0 | Self::DCS_CONF.0))
+    }
+
+    /// The subset implemented by untrusted stubs.
+    pub fn stub_side(self) -> IsoProps {
+        IsoProps(self.0 & (Self::REG_INTEGRITY.0 | Self::REG_CONF.0 | Self::STACK_INTEGRITY.0))
+    }
+}
+
+impl core::ops::BitOr for IsoProps {
+    type Output = IsoProps;
+    fn bitor(self, rhs: IsoProps) -> IsoProps {
+        self.union(rhs)
+    }
+}
+
+/// One entry in an entry-point handle (Table 2: `entry.entries[]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryDesc {
+    /// Entry point address (the registered function / callee stub; replaced
+    /// with the proxy address by `entry_request`).
+    pub address: u64,
+    /// Signature.
+    pub signature: Signature,
+    /// Requested isolation properties.
+    pub policy: IsoProps,
+}
+
+/// dIPC operation errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DipcError {
+    /// Handle does not exist or belongs to another process (P1).
+    BadHandle,
+    /// The handle's permission is insufficient for the operation.
+    Perm,
+    /// Signatures disagree between `entry_register` and `entry_request`
+    /// (P4).
+    Signature,
+    /// Entry descriptor addresses are not inside the handle's domain.
+    BadEntryAddress,
+    /// The target process is not dIPC-enabled.
+    NotDipc,
+    /// Out of some resource.
+    Resource,
+}
+
+impl core::fmt::Display for DipcError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DipcError::BadHandle => "bad dIPC handle",
+            DipcError::Perm => "insufficient handle permission",
+            DipcError::Signature => "entry signature mismatch",
+            DipcError::BadEntryAddress => "entry address outside domain",
+            DipcError::NotDipc => "process is not dIPC-enabled",
+            DipcError::Resource => "out of resources",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for DipcError {}
+
+/// Internal record for a domain handle.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DomRec {
+    pub tag: DomainTag,
+    pub perm: HandlePerm,
+    pub owner_pid: u64,
+}
+
+/// Internal record for a grant handle.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct GrantRec {
+    pub src: DomainTag,
+    pub dst: DomainTag,
+    pub owner_pid: u64,
+}
+
+/// Internal record for an entry-point handle.
+#[derive(Clone, Debug)]
+pub(crate) struct EntryRec {
+    pub dom: DomainTag,
+    pub pid: u64,
+    pub entries: Vec<EntryDesc>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_perm_order() {
+        assert!(HandlePerm::Nil < HandlePerm::Call);
+        assert!(HandlePerm::Call < HandlePerm::Read);
+        assert!(HandlePerm::Read < HandlePerm::Write);
+        assert!(HandlePerm::Write < HandlePerm::Owner);
+    }
+
+    #[test]
+    fn owner_maps_to_apl_write() {
+        assert_eq!(HandlePerm::Owner.to_apl(), codoms::Perm::Write);
+        assert_eq!(HandlePerm::Call.to_apl(), codoms::Perm::Call);
+    }
+
+    #[test]
+    fn signature_pack_roundtrip() {
+        let s = Signature { args: 3, rets: 1, stack_bytes: 128, cap_args: 2 };
+        assert_eq!(Signature::unpack(s.pack()), s);
+    }
+
+    #[test]
+    fn iso_props_split() {
+        let p = IsoProps::HIGH;
+        assert!(p.proxy_side().contains(IsoProps::STACK_CONF));
+        assert!(p.proxy_side().contains(IsoProps::DCS_CONF));
+        assert!(!p.proxy_side().contains(IsoProps::REG_INTEGRITY));
+        assert!(p.stub_side().contains(IsoProps::REG_INTEGRITY));
+        assert!(!p.stub_side().contains(IsoProps::STACK_CONF));
+    }
+
+    #[test]
+    fn iso_union() {
+        let caller = IsoProps::REG_INTEGRITY;
+        let callee = IsoProps::REG_CONF;
+        let merged = caller | callee;
+        assert!(merged.contains(IsoProps::REG_INTEGRITY));
+        assert!(merged.contains(IsoProps::REG_CONF));
+        assert_eq!(IsoProps::LOW.union(IsoProps::LOW), IsoProps::NONE);
+    }
+}

@@ -1,0 +1,342 @@
+//! The dIPC executable image format (§5.3.2, §6.2).
+//!
+//! The paper's compiler pass "auto-generate[s] additional sections in the
+//! output binary, which the program loader uses to load code and data into
+//! their respective domains, configure domain grants inside a process, and
+//! manage the dynamic resolution of domain entry points and proxies".
+//!
+//! [`DipcImage`] is that binary: the assembled instruction stream plus the
+//! extended sections — relocations, symbols, export descriptors
+//! (entry/iso_callee annotations), import descriptors (iso_caller +
+//! liveness), data-region and data-domain declarations. Images serialize to
+//! a simple length-prefixed format ("DIPC" magic, versioned) and load
+//! through the same [`crate::World`] path as in-memory specs.
+
+use std::collections::HashMap;
+
+use cdvm::asm::{Program, Reloc, RelocKind};
+use cdvm::Reg;
+
+use crate::api::{IsoProps, Signature};
+use crate::dsl::{AppSpec, DomainSpec, EntrySpec, ImportSpec, World};
+
+/// Image format magic.
+pub const MAGIC: &[u8; 4] = b"DIPC";
+/// Image format version.
+pub const VERSION: u16 = 1;
+
+/// A loadable dIPC executable image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DipcImage {
+    /// Process name (doubles as the resolution socket path).
+    pub name: String,
+    /// Assembled code (instructions, unresolved relocations, symbols).
+    pub code: Program,
+    /// Stub label per export (the addresses `entry_register` points at).
+    pub stub_labels: HashMap<String, String>,
+    /// Export section.
+    pub exports: Vec<EntrySpec>,
+    /// Import section.
+    pub imports: Vec<ImportSpec>,
+    /// Extra data domains.
+    pub domains: Vec<DomainSpec>,
+    /// Named default-domain data regions.
+    pub data: Vec<(String, u64)>,
+}
+
+/// Image encode/decode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// Bad magic or version.
+    BadHeader,
+    /// Truncated or malformed section.
+    Malformed,
+}
+
+impl core::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ImageError::BadHeader => f.write_str("bad dIPC image header"),
+            ImageError::Malformed => f.write_str("malformed dIPC image"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.0.extend_from_slice(b);
+    }
+    fn string(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        if self.at + n > self.buf.len() {
+            return Err(ImageError::Malformed);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, ImageError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], ImageError> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() {
+            return Err(ImageError::Malformed);
+        }
+        self.take(n)
+    }
+    fn string(&mut self) -> Result<String, ImageError> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| ImageError::Malformed)
+    }
+}
+
+impl DipcImage {
+    /// Compiles a spec into an image (runs the spec's code generator and
+    /// the stub emitters).
+    pub fn from_spec(spec: &AppSpec) -> DipcImage {
+        let (code, stub_labels) = World::assemble(spec);
+        DipcImage {
+            name: spec.name.clone(),
+            code,
+            stub_labels,
+            exports: spec.exports.clone(),
+            imports: spec.imports.clone(),
+            domains: spec.domains.clone(),
+            data: spec.data.clone(),
+        }
+    }
+
+    /// Serializes to the on-disk format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer(Vec::new());
+        w.0.extend_from_slice(MAGIC);
+        w.u16(VERSION);
+        w.string(&self.name);
+        // Code section.
+        w.bytes(&self.code.bytes);
+        w.u64(self.code.relocs.len() as u64);
+        for r in &self.code.relocs {
+            w.u64(r.offset);
+            w.string(&r.symbol);
+            w.u64(r.addend as u64);
+        }
+        w.u64(self.code.labels.len() as u64);
+        let mut labels: Vec<_> = self.code.labels.iter().collect();
+        labels.sort();
+        for (name, off) in labels {
+            w.string(name);
+            w.u64(*off);
+        }
+        // Stub-label section.
+        w.u64(self.stub_labels.len() as u64);
+        let mut stubs: Vec<_> = self.stub_labels.iter().collect();
+        stubs.sort();
+        for (export, label) in stubs {
+            w.string(export);
+            w.string(label);
+        }
+        // Export section.
+        w.u64(self.exports.len() as u64);
+        for e in &self.exports {
+            w.string(&e.name);
+            w.u64(e.sig.pack());
+            w.u64(e.policy.0 as u64);
+        }
+        // Import section.
+        w.u64(self.imports.len() as u64);
+        for i in &self.imports {
+            w.string(&i.process);
+            w.string(&i.entry);
+            w.u64(i.sig.pack());
+            w.u64(i.policy.0 as u64);
+            w.bytes(&i.live);
+        }
+        // Domain + data sections.
+        w.u64(self.domains.len() as u64);
+        for d in &self.domains {
+            w.string(&d.name);
+            w.u64(d.size);
+        }
+        w.u64(self.data.len() as u64);
+        for (name, size) in &self.data {
+            w.string(name);
+            w.u64(*size);
+        }
+        w.0
+    }
+
+    /// Deserializes from the on-disk format.
+    pub fn from_bytes(buf: &[u8]) -> Result<DipcImage, ImageError> {
+        let mut r = Reader { buf, at: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(ImageError::BadHeader);
+        }
+        if r.u16()? != VERSION {
+            return Err(ImageError::BadHeader);
+        }
+        let name = r.string()?;
+        let bytes = r.bytes()?.to_vec();
+        let nrel = r.u64()? as usize;
+        let mut relocs = Vec::with_capacity(nrel.min(1 << 16));
+        for _ in 0..nrel {
+            let offset = r.u64()?;
+            let symbol = r.string()?;
+            let addend = r.u64()? as i64;
+            relocs.push(Reloc { offset, symbol, kind: RelocKind::Abs64, addend });
+        }
+        let nlab = r.u64()? as usize;
+        let mut labels = HashMap::new();
+        for _ in 0..nlab {
+            let n = r.string()?;
+            let off = r.u64()?;
+            labels.insert(n, off);
+        }
+        let nstub = r.u64()? as usize;
+        let mut stub_labels = HashMap::new();
+        for _ in 0..nstub {
+            let e = r.string()?;
+            let l = r.string()?;
+            stub_labels.insert(e, l);
+        }
+        let nexp = r.u64()? as usize;
+        let mut exports = Vec::new();
+        for _ in 0..nexp {
+            let name = r.string()?;
+            let sig = Signature::unpack(r.u64()?);
+            let policy = IsoProps(r.u64()? as u8);
+            exports.push(EntrySpec { name, sig, policy });
+        }
+        let nimp = r.u64()? as usize;
+        let mut imports = Vec::new();
+        for _ in 0..nimp {
+            let process = r.string()?;
+            let entry = r.string()?;
+            let sig = Signature::unpack(r.u64()?);
+            let policy = IsoProps(r.u64()? as u8);
+            let live: Vec<Reg> = r.bytes()?.to_vec();
+            imports.push(ImportSpec { process, entry, sig, policy, live });
+        }
+        let ndom = r.u64()? as usize;
+        let mut domains = Vec::new();
+        for _ in 0..ndom {
+            let name = r.string()?;
+            let size = r.u64()?;
+            domains.push(DomainSpec { name, size });
+        }
+        let ndata = r.u64()? as usize;
+        let mut data = Vec::new();
+        for _ in 0..ndata {
+            let name = r.string()?;
+            let size = r.u64()?;
+            data.push((name, size));
+        }
+        Ok(DipcImage {
+            name,
+            code: Program { bytes, relocs, labels },
+            stub_labels,
+            exports,
+            imports,
+            domains,
+            data,
+        })
+    }
+}
+
+impl World {
+    /// Loads a compiled image as a process — the loader consuming the
+    /// "additional sections" of §5.3.2.
+    pub fn build_image(&mut self, img: &DipcImage) {
+        self.load_assembled(
+            &img.name,
+            img.code.clone(),
+            img.stub_labels.clone(),
+            &img.exports,
+            &img.imports,
+            &img.domains,
+            &img.data,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm::isa::reg::*;
+    use cdvm::Instr;
+
+    fn sample_spec() -> AppSpec {
+        AppSpec::new("db", |a| {
+            a.label("query");
+            a.li_sym(T0, "$data_rows");
+            a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
+            a.ret();
+        })
+        .export("query", Signature::regs(1, 1), IsoProps::HIGH)
+        .import_live("other", "helper", Signature::regs(2, 1), IsoProps::REG_INTEGRITY, &[S0])
+        .domain("pool", 8192)
+        .data("rows", 4096)
+    }
+
+    #[test]
+    fn image_roundtrip() {
+        let img = DipcImage::from_spec(&sample_spec());
+        let bytes = img.to_bytes();
+        let back = DipcImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let img = DipcImage::from_spec(&sample_spec());
+        let mut bytes = img.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(DipcImage::from_bytes(&bytes), Err(ImageError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let img = DipcImage::from_spec(&sample_spec());
+        let bytes = img.to_bytes();
+        for cut in [5, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                DipcImage::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn image_carries_the_extended_sections() {
+        let img = DipcImage::from_spec(&sample_spec());
+        assert_eq!(img.exports.len(), 1);
+        assert_eq!(img.imports.len(), 1);
+        assert_eq!(img.domains.len(), 1);
+        assert_eq!(img.data.len(), 1);
+        assert!(img.stub_labels.contains_key("query"));
+        assert!(!img.code.relocs.is_empty(), "GOT + data relocs present");
+    }
+}

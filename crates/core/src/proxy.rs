@@ -1,0 +1,382 @@
+//! Run-time generated trusted proxies (§3.1, §5.2.3, §6.1).
+//!
+//! A proxy is "a thin privileged code thunk that safely proxies calls
+//! between processes and into the target function". Proxies are generated
+//! from parameterized templates: the template for a given (signature,
+//! isolation properties, cross-process?) combination is assembled once and
+//! cached; instantiation copies it and patches immediates "via symbol
+//! relocation" (§6.1.1). The generated code runs on pages carrying the
+//! CODOMs privileged-capability bit, in its own proxy domain whose APL
+//! grants access to the caller domain, the callee domain and the
+//! kernel-shared domain.
+//!
+//! Proxy call path:
+//! 1. stack-pointer sanity check (P2);
+//! 2. `prepare_ret`: push a KCS entry (caller pid, return address, sp, TLS,
+//!    DCS registers, proxy id) and redirect `ra` at `proxy_ret`, handing the
+//!    callee a read capability to it (P3);
+//! 3. `track_process_call` (cross-process): hardware-tag lookup (§4.3) →
+//!    per-thread tracking array (§6.1.2) → switch the per-CPU current
+//!    process and the TLS base (`wrfsbase`);
+//! 4. `isolate_pcall`: optional stack switch + argument copy (stack
+//!    confidentiality), DCS base adjustment (DCS integrity) or DCS window
+//!    switch (DCS confidentiality);
+//! 5. tail-jump into the target entry.
+//!
+//! The return path undoes 2–4 from the KCS entry.
+//!
+//! Cold path: if the hardware tag or the tracking entry is missing, the
+//! proxy falls into an `ecall` to `dipc_track_resolve`, which fills the APL
+//! cache and the tracking entry (lazily allocating the per-thread TLS
+//! block, stack and DCS in the target context) and retries — the paper's
+//! warm/cold path upcall (§6.1.2).
+
+use cdvm::asm::Program;
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use simkernel::percpu::{self, kcs, track};
+
+use crate::api::{IsoProps, Signature};
+use crate::system::dsys;
+
+/// Byte length of the `proxy_ret` block covered by the return capability.
+pub const RET_CAP_LEN: u64 = 64 * 4;
+
+/// Per-CPU scratch slots used by the proxy cold path to preserve argument
+/// registers around the resolve `ecall`.
+const SCRATCH0: i32 = percpu::SCRATCH as i32;
+const SCRATCH1: i32 = percpu::SCRATCH as i32 + 8;
+const SCRATCH2: i32 = percpu::SCRATCH as i32 + 16;
+
+/// Template cache key: everything that shapes the code except the patched
+/// immediates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TemplateKey {
+    /// Entry signature.
+    pub sig: Signature,
+    /// Merged isolation properties (proxy side is what matters, but the key
+    /// keeps the full set for clarity).
+    pub props: IsoProps,
+    /// Crossing a process boundary (enables process tracking + TLS switch)?
+    pub cross_process: bool,
+}
+
+/// Instantiation parameters for one proxy.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxySpec {
+    /// Unique proxy identifier (recorded in KCS entries for unwinding).
+    pub proxy_id: u64,
+    /// Template selector.
+    pub key: TemplateKey,
+    /// Callee process id.
+    pub callee_pid: u64,
+    /// Callee domain tag (for the §4.3 hardware-tag lookup).
+    pub callee_tag: u32,
+    /// Target entry address.
+    pub target: u64,
+}
+
+/// True if this template needs the per-thread tracking array (process
+/// tracking, stack switch or DCS switch).
+fn needs_tracking(key: &TemplateKey) -> bool {
+    key.cross_process
+        || key.props.contains(IsoProps::STACK_CONF)
+        || key.props.contains(IsoProps::DCS_CONF)
+}
+
+/// Assembles the proxy template for `key`.
+///
+/// The template is position-independent except for five `li_sym`
+/// relocations: `$target`, `$callee_pid`, `$callee_tag`, `$proxy_id` and the
+/// internal `ret` label (absolute). [`instantiate`] patches them.
+pub fn build_template(key: &TemplateKey) -> Program {
+    let mut a = Asm::new();
+    let props = key.props;
+    let sig = key.sig;
+
+    a.label("entry");
+    // --- P2: stack pointer sanity (no stack switch case) ---
+    if !props.contains(IsoProps::STACK_CONF) {
+        a.push(Instr::Andi { rd: T0, rs1: SP, imm: 7 });
+        a.bne(T0, ZERO, "bad_sp");
+        a.beq(SP, ZERO, "bad_sp");
+    }
+    // --- prepare_ret: KCS push ---
+    a.push(Instr::Rdgs { rd: T0 });
+    a.push(Instr::Ld { rd: T1, rs1: T0, imm: percpu::KCS_TOP as i32 });
+    // KCS overflow check first: recursion deeper than the KCS faults (and
+    // the kernel unwinds); it never writes past the thread's KCS region.
+    a.push(Instr::Ld { rd: T2, rs1: T0, imm: percpu::KCS_LIMIT as i32 });
+    a.push(Instr::Addi { rd: T3, rs1: T1, imm: percpu::KCS_ENTRY as i32 });
+    a.bltu(T2, T3, "kcs_full");
+    // Spill the caller's return capability to the caller's DCS right away
+    // (nested cross-domain calls would otherwise clobber c7). Pushing
+    // before the DCS registers are recorded in the KCS means the return
+    // path's pop — which runs after those registers are restored — finds
+    // exactly this slot. With DCS integrity the slot is then hidden below
+    // the adjusted base; the exposure with cap_args > 0 is harmless since
+    // the callee already holds the same capability in c7.
+    a.cap_push(7);
+    a.push(Instr::Ld { rd: T2, rs1: T0, imm: percpu::CUR_PID as i32 });
+    a.push(Instr::St { rs1: T1, rs2: T2, imm: kcs::CALLER_PID as i32 });
+    a.push(Instr::St { rs1: T1, rs2: RA, imm: kcs::RET_ADDR as i32 });
+    a.push(Instr::St { rs1: T1, rs2: SP, imm: kcs::CALLER_SP as i32 });
+    a.li_sym(T2, "$proxy_id");
+    a.push(Instr::St { rs1: T1, rs2: T2, imm: kcs::PROXY_ID as i32 });
+    a.push(Instr::St { rs1: T1, rs2: TP, imm: kcs::CALLER_TLS as i32 });
+    a.push(Instr::DcsGetBase { rd: T2 });
+    a.push(Instr::St { rs1: T1, rs2: T2, imm: kcs::DCS_BASE as i32 });
+    if props.contains(IsoProps::DCS_CONF) {
+        a.push(Instr::DcsGetStart { rd: T2 });
+        a.push(Instr::St { rs1: T1, rs2: T2, imm: kcs::DCS_START as i32 });
+        a.push(Instr::DcsGetLimit { rd: T2 });
+        a.push(Instr::St { rs1: T1, rs2: T2, imm: kcs::DCS_LIMIT as i32 });
+        a.push(Instr::DcsGetTop { rd: T2 });
+        a.push(Instr::St { rs1: T1, rs2: T2, imm: kcs::DCS_TOP as i32 });
+    }
+    a.push(Instr::St { rs1: T0, rs2: T3, imm: percpu::KCS_TOP as i32 });
+
+    // --- tracking lookup (hot path of §6.1.2) ---
+    if needs_tracking(key) {
+        a.label("retry");
+        a.li_sym(T2, "$callee_tag");
+        a.push(Instr::TagLookup { rd: T3, rs1: T2 });
+        a.push(Instr::Movi { rd: T4, imm: -1 });
+        a.beq(T3, T4, "slow");
+        a.push(Instr::Ld { rd: T4, rs1: T0, imm: percpu::PROC_CACHE as i32 });
+        // T5 = T3 * PROC_CACHE_ENTRY (40 = 8 + 32).
+        a.push(Instr::Slli { rd: T5, rs1: T3, imm: 3 });
+        a.push(Instr::Slli { rd: T6, rs1: T3, imm: 5 });
+        a.push(Instr::Add { rd: T5, rs1: T5, rs2: T6 });
+        a.push(Instr::Add { rd: T4, rs1: T4, rs2: T5 });
+        a.push(Instr::Ld { rd: T5, rs1: T4, imm: track::PID as i32 });
+        a.li_sym(T6, "$callee_pid");
+        a.bne(T5, T6, "slow");
+    }
+    // --- track_process_call (cross-process only) ---
+    if key.cross_process {
+        a.push(Instr::St { rs1: T0, rs2: T5, imm: percpu::CUR_PID as i32 });
+        a.push(Instr::Ld { rd: T6, rs1: T4, imm: track::TLS as i32 });
+        a.push(Instr::Wrfsbase { rs1: T6 });
+    }
+    // --- isolate_pcall: stack switch + argument copy ---
+    if props.contains(IsoProps::STACK_CONF) {
+        a.push(Instr::Ld { rd: T6, rs1: T4, imm: track::STACK as i32 });
+        if sig.stack_bytes > 0 {
+            a.push(Instr::Addi { rd: T6, rs1: T6, imm: -(sig.stack_bytes as i32) });
+            a.li(T2, sig.stack_bytes as u64);
+            a.push(Instr::MemCpy { rd: T6, rs1: SP, rs2: T2 });
+        }
+        a.push(Instr::Add { rd: SP, rs1: T6, rs2: ZERO });
+    }
+    // --- DCS isolation ---
+    if props.contains(IsoProps::DCS_CONF) {
+        // Preserve capability arguments across the window switch through
+        // capability registers (they are passed in c0.. anyway; spilled
+        // entries beyond the registers are not supported).
+        a.push(Instr::Ld { rd: T6, rs1: T4, imm: track::DCS as i32 });
+        a.push(Instr::Addi { rd: T2, rs1: T6, imm: simmem::PAGE_SIZE as i32 });
+        a.push(Instr::DcsSetWindow { rs1: T6, rs2: T2 });
+    } else if props.contains(IsoProps::DCS_INTEGRITY) {
+        a.push(Instr::DcsGetTop { rd: T2 });
+        let hide = sig.cap_args as i32 * codoms::CAPABILITY_BYTES as i32;
+        a.push(Instr::Addi { rd: T2, rs1: T2, imm: -hide });
+        a.push(Instr::DcsSetBase { rs1: T2 });
+    }
+    // --- return capability + ra rewrite (P3) ---
+    a.li_sym(T2, "$ret_addr");
+    a.li(T6, RET_CAP_LEN);
+    a.push(Instr::CapAplTake { crd: 7, rs1: T2, rs2: T6, imm: 2 }); // read, sync
+    a.push(Instr::Add { rd: RA, rs1: T2, rs2: ZERO });
+    if props.contains(IsoProps::REG_CONF) {
+        // The proxy's own scratch registers hold privileged values (per-CPU
+        // base, KCS pointers); under register confidentiality they must not
+        // leak into the callee. The caller-side secrets were already zeroed
+        // by the untrusted stub — this is the trusted half of the property.
+        for r in [T0, T1, T2, T3, T4, T5] {
+            a.push(Instr::Add { rd: r, rs1: ZERO, rs2: ZERO });
+        }
+    }
+    // --- tail jump into the target entry ---
+    a.li_sym(T6, "$target");
+    a.push(Instr::Jalr { rd: ZERO, rs1: T6, imm: 0 });
+
+    // ================= return path =================
+    a.align(64);
+    a.label("ret");
+    a.push(Instr::Rdgs { rd: T0 });
+    a.push(Instr::Ld { rd: T1, rs1: T0, imm: percpu::KCS_TOP as i32 });
+    a.push(Instr::Addi { rd: T1, rs1: T1, imm: -(percpu::KCS_ENTRY as i32) });
+    if key.cross_process {
+        // track_process_ret: restore the caller's current + TLS.
+        a.push(Instr::Ld { rd: T2, rs1: T1, imm: kcs::CALLER_PID as i32 });
+        a.push(Instr::St { rs1: T0, rs2: T2, imm: percpu::CUR_PID as i32 });
+        a.push(Instr::Ld { rd: T3, rs1: T1, imm: kcs::CALLER_TLS as i32 });
+        a.push(Instr::Wrfsbase { rs1: T3 });
+    }
+    if props.contains(IsoProps::DCS_CONF) {
+        a.push(Instr::Ld { rd: T2, rs1: T1, imm: kcs::DCS_START as i32 });
+        a.push(Instr::Ld { rd: T3, rs1: T1, imm: kcs::DCS_LIMIT as i32 });
+        a.push(Instr::DcsSetWindow { rs1: T2, rs2: T3 });
+        a.push(Instr::Ld { rd: T2, rs1: T1, imm: kcs::DCS_TOP as i32 });
+        a.push(Instr::DcsSetTop { rs1: T2 });
+        a.push(Instr::Ld { rd: T2, rs1: T1, imm: kcs::DCS_BASE as i32 });
+        a.push(Instr::DcsSetBase { rs1: T2 });
+    } else {
+        a.push(Instr::Ld { rd: T2, rs1: T1, imm: kcs::DCS_BASE as i32 });
+        a.push(Instr::DcsSetBase { rs1: T2 });
+    }
+    a.push(Instr::Ld { rd: SP, rs1: T1, imm: kcs::CALLER_SP as i32 });
+    a.push(Instr::Ld { rd: RA, rs1: T1, imm: kcs::RET_ADDR as i32 });
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: percpu::KCS_TOP as i32 });
+    // Refill the caller's return capability spilled in the prologue.
+    a.cap_pop(7);
+    a.push(Instr::Jalr { rd: ZERO, rs1: RA, imm: 0 });
+
+    // ================= cold path =================
+    if needs_tracking(key) {
+        a.align(64);
+        a.label("slow");
+        // Preserve the argument registers the resolve call clobbers.
+        a.push(Instr::St { rs1: T0, rs2: A0, imm: SCRATCH0 });
+        a.push(Instr::St { rs1: T0, rs2: A1, imm: SCRATCH1 });
+        a.push(Instr::St { rs1: T0, rs2: A7, imm: SCRATCH2 });
+        a.li_sym(A0, "$callee_pid");
+        a.li_sym(A1, "$callee_tag");
+        a.li(A7, dsys::TRACK_RESOLVE);
+        a.push(Instr::Ecall);
+        a.push(Instr::Rdgs { rd: T0 });
+        a.push(Instr::Ld { rd: A0, rs1: T0, imm: SCRATCH0 });
+        a.push(Instr::Ld { rd: A1, rs1: T0, imm: SCRATCH1 });
+        a.push(Instr::Ld { rd: A7, rs1: T0, imm: SCRATCH2 });
+        a.j("retry");
+    }
+
+    // A bad stack pointer is a caller bug, and KCS exhaustion is runaway
+    // recursion: fault so the kernel unwinds (P5 — it only hurts the
+    // caller).
+    if !props.contains(IsoProps::STACK_CONF) {
+        a.label("bad_sp");
+        a.push(Instr::Crash);
+    }
+    a.label("kcs_full");
+    a.push(Instr::Crash);
+    a.finish()
+}
+
+/// Instantiates a template for `spec`, resolving the `$`-relocations.
+/// `base` is the address the bytes will be loaded at (needed for the
+/// absolute internal `ret` label).
+///
+/// Returns `(bytes, ret_offset)` — `ret_offset` is the byte offset of the
+/// return path within the proxy (recorded for fault unwinding).
+pub fn instantiate(template: &Program, spec: &ProxySpec, base: u64) -> (Vec<u8>, u64) {
+    let mut bytes = template.bytes.clone();
+    let ret_off = template.label("ret");
+    for r in &template.relocs {
+        let value = match r.symbol.as_str() {
+            "$target" => spec.target,
+            "$callee_pid" => spec.callee_pid,
+            "$callee_tag" => spec.callee_tag as u64,
+            "$proxy_id" => spec.proxy_id,
+            "$ret_addr" => base + ret_off,
+            other => panic!("unexpected template symbol {other}"),
+        };
+        cdvm::asm::patch_abs64(&mut bytes, r.offset as usize, value);
+    }
+    (bytes, ret_off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(props: IsoProps, cross: bool) -> TemplateKey {
+        TemplateKey { sig: Signature::regs(2, 1), props, cross_process: cross }
+    }
+
+    #[test]
+    fn templates_have_aligned_entry_and_ret() {
+        for (props, cross) in [
+            (IsoProps::LOW, false),
+            (IsoProps::LOW, true),
+            (IsoProps::HIGH, false),
+            (IsoProps::HIGH, true),
+        ] {
+            let t = build_template(&key(props, cross));
+            assert_eq!(t.label("entry"), 0);
+            assert_eq!(t.label("ret") % 64, 0, "ret must be a capability-aligned block");
+        }
+    }
+
+    #[test]
+    fn low_template_is_lean() {
+        // dIPC-Low's fast path must stay a few dozen instructions — the
+        // 6 ns / ~20-cycle budget of Figure 5 depends on it.
+        let t = build_template(&key(IsoProps::LOW, false));
+        let entry_to_ret = t.label("ret") / 8;
+        assert!(entry_to_ret <= 32, "Low call path too fat: {entry_to_ret} instrs");
+    }
+
+    #[test]
+    fn cross_process_template_tracks() {
+        let t = build_template(&key(IsoProps::LOW, true));
+        // Must contain a wrfsbase (TLS switch) and a taglookup.
+        let has = |op: u8| t.bytes.chunks(8).any(|c| c[0] == op);
+        assert!(has(40), "wrfsbase expected");
+        assert!(has(43), "taglookup expected");
+        // And a cold path ecall.
+        assert!(has(31), "resolve ecall expected");
+    }
+
+    #[test]
+    fn same_process_low_does_not_track() {
+        let t = build_template(&key(IsoProps::LOW, false));
+        let has = |op: u8| t.bytes.chunks(8).any(|c| c[0] == op);
+        assert!(!has(40), "no TLS switch for same-process Low");
+        assert!(!has(43), "no taglookup for same-process Low");
+    }
+
+    #[test]
+    fn stack_conf_adds_copy_only_with_stack_args() {
+        let mut k = key(IsoProps::STACK_CONF, true);
+        let t0 = build_template(&k);
+        let has_memcpy =
+            |t: &Program| t.bytes.chunks(8).any(|c| c[0] == 23);
+        assert!(!has_memcpy(&t0), "no stack args, no copy");
+        k.sig.stack_bytes = 64;
+        let t1 = build_template(&k);
+        assert!(has_memcpy(&t1), "stack args must be copied");
+    }
+
+    #[test]
+    fn instantiate_patches_all_relocs() {
+        let k = key(IsoProps::HIGH, true);
+        let t = build_template(&k);
+        let spec = ProxySpec {
+            proxy_id: 42,
+            key: k,
+            callee_pid: 7,
+            callee_tag: 9,
+            target: 0xAAAA_0000,
+        };
+        let (bytes, ret_off) = instantiate(&t, &spec, 0x5000_0000);
+        assert_eq!(bytes.len(), t.bytes.len());
+        assert_eq!(ret_off % 64, 0);
+        // Disassemble and verify the target shows up as an immediate.
+        let text = cdvm::disasm::disasm(&bytes, 0);
+        assert!(text.contains(&format!("{}", 0xAAAA_0000u64 as u32 as i32)));
+    }
+
+    #[test]
+    fn template_size_near_paper_average() {
+        // §6.1.1: templates average ~600 B. Ours should be in that order of
+        // magnitude for the rich configurations.
+        let t = build_template(&key(IsoProps::HIGH, true));
+        assert!(
+            (200..1500).contains(&t.bytes.len()),
+            "template size {} B far from the paper's ~600 B average",
+            t.bytes.len()
+        );
+    }
+}

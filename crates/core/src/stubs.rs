@@ -1,0 +1,236 @@
+//! Auto-generated caller/callee stubs (§5.3.1).
+//!
+//! The paper's optional compiler pass emits stubs around cross-domain calls
+//! that implement the isolation properties which do *not* need privileges:
+//! register integrity, register confidentiality and data-stack integrity.
+//! Because stubs are "inlined into and co-optimized with the user
+//! application", they can exploit register liveness: only the registers the
+//! caller actually holds live are saved/zeroed. An incorrect stub "will
+//! only impact the caller's isolation guarantees, but never the guarantees
+//! of the proxy or the callee" (P5).
+//!
+//! Our equivalent of the compiler is this emitter: given a call site's
+//! signature, requested properties and live-register set, it emits the
+//! `isolate_call` / `deisolate_call` / `isolate_ret` sequences into the
+//! caller's (or callee's) instruction stream.
+
+use cdvm::isa::{reg, Reg};
+use cdvm::{Asm, Instr};
+
+use crate::api::{IsoProps, Signature};
+
+/// Capability registers reserved for stub use: c5 covers in-stack
+/// arguments, c6 covers the unused stack area (data-stack integrity).
+pub const STACK_ARG_CAP: u8 = 5;
+/// See [`STACK_ARG_CAP`].
+pub const STACK_FREE_CAP: u8 = 6;
+
+/// Emits the caller-side `isolate_call` prologue, the call through `t6`
+/// (which must already hold the proxy address), and the
+/// `deisolate_call` epilogue.
+///
+/// * `live` — callee-saved registers live across the call (the liveness
+///   information the compiler pass would provide; pass
+///   [`reg::CALLEE_SAVED`] for the worst case used in §7.4).
+/// * The proxy address must be loaded into `t6` by the caller *before*
+///   this sequence (typically from a GOT slot; see [`crate::dsl`]).
+pub fn emit_caller_stub(a: &mut Asm, sig: Signature, props: IsoProps, live: &[Reg]) {
+    let props = props.stub_side();
+    let saved: Vec<Reg> = if props.contains(IsoProps::REG_INTEGRITY) {
+        live.to_vec()
+    } else {
+        Vec::new()
+    };
+
+    // --- isolate_call ---
+    // Register integrity: save live registers onto the stack.
+    if !saved.is_empty() {
+        let frame = (saved.len() as i32) * 8;
+        a.push(Instr::Addi { rd: reg::SP, rs1: reg::SP, imm: -frame });
+        for (i, r) in saved.iter().enumerate() {
+            a.push(Instr::St { rs1: reg::SP, rs2: *r, imm: (i as i32) * 8 });
+        }
+    }
+    // Data-stack integrity: hand the callee capabilities for exactly the
+    // in-stack arguments and the unused stack area.
+    if props.contains(IsoProps::STACK_INTEGRITY) {
+        if sig.stack_bytes > 0 {
+            a.li(reg::T0, sig.stack_bytes as u64);
+            a.push(Instr::CapAplTake {
+                crd: STACK_ARG_CAP,
+                rs1: reg::SP,
+                rs2: reg::T0,
+                imm: 2, // read
+            });
+        }
+        // Unused area: one page below sp (writable scratch for the callee).
+        a.li(reg::T0, simmem::PAGE_SIZE);
+        a.push(Instr::Sub { rd: reg::T1, rs1: reg::SP, rs2: reg::T0 });
+        a.push(Instr::CapAplTake {
+            crd: STACK_FREE_CAP,
+            rs1: reg::T1,
+            rs2: reg::T0,
+            imm: 3, // write
+        });
+    }
+    // Register confidentiality: zero every non-argument caller-saved
+    // register and unused argument register before the call.
+    if props.contains(IsoProps::REG_CONF) {
+        for r in reg::CALLER_SAVED {
+            if r != reg::T6 {
+                // t6 holds the proxy address until the jump.
+                a.push(Instr::Add { rd: r, rs1: reg::ZERO, rs2: reg::ZERO });
+            }
+        }
+        for (i, r) in reg::ARGS.iter().enumerate() {
+            if i >= sig.args as usize {
+                a.push(Instr::Add { rd: *r, rs1: reg::ZERO, rs2: reg::ZERO });
+            }
+        }
+    }
+
+    // --- the call ---
+    a.push(Instr::Jalr { rd: reg::RA, rs1: reg::T6, imm: 0 });
+
+    // --- deisolate_call ---
+    // Register confidentiality (return side): zero non-result registers the
+    // callee may have leaked into.
+    if props.contains(IsoProps::REG_CONF) {
+        for r in reg::CALLER_SAVED {
+            a.push(Instr::Add { rd: r, rs1: reg::ZERO, rs2: reg::ZERO });
+        }
+        for (i, r) in reg::ARGS.iter().enumerate() {
+            if i >= sig.rets as usize {
+                a.push(Instr::Add { rd: *r, rs1: reg::ZERO, rs2: reg::ZERO });
+            }
+        }
+    }
+    // Data-stack integrity: revoke the stack capabilities.
+    if props.contains(IsoProps::STACK_INTEGRITY) {
+        if sig.stack_bytes > 0 {
+            a.push(Instr::CapClear { crd: STACK_ARG_CAP });
+        }
+        a.push(Instr::CapClear { crd: STACK_FREE_CAP });
+    }
+    // Register integrity: restore.
+    if !saved.is_empty() {
+        let frame = (saved.len() as i32) * 8;
+        for (i, r) in saved.iter().enumerate() {
+            a.push(Instr::Ld { rd: *r, rs1: reg::SP, imm: (i as i32) * 8 });
+        }
+        a.push(Instr::Addi { rd: reg::SP, rs1: reg::SP, imm: frame });
+    }
+}
+
+/// Emits a callee-side stub: an aligned entry that calls the real function
+/// at label `target` and applies `isolate_ret` (zero non-result registers)
+/// before returning to the proxy.
+///
+/// Returns the stub's label (`"stub_<target>"`), which is what
+/// `entry_register` should point at.
+pub fn emit_callee_stub(a: &mut Asm, target: &str, sig: Signature, props: IsoProps) -> String {
+    let label = format!("stub_{target}");
+    a.align(64);
+    a.label(&label);
+    if props.stub_side().contains(IsoProps::REG_CONF) {
+        // isolate_ret needs code *after* the function returns, so the stub
+        // becomes a real frame: it saves the proxy's return address on the
+        // stack (REG_CONF callees need a usable stack — in practice paired
+        // with stack confidentiality or caller-provided stack caps), calls
+        // the function, zeroes non-result registers, and returns.
+        a.push(Instr::Addi { rd: reg::SP, rs1: reg::SP, imm: -8 });
+        a.push(Instr::St { rs1: reg::SP, rs2: reg::RA, imm: 0 });
+        a.jal(reg::RA, target);
+        for r in reg::CALLER_SAVED {
+            a.push(Instr::Add { rd: r, rs1: reg::ZERO, rs2: reg::ZERO });
+        }
+        for (i, r) in reg::ARGS.iter().enumerate() {
+            if i >= sig.rets as usize {
+                a.push(Instr::Add { rd: *r, rs1: reg::ZERO, rs2: reg::ZERO });
+            }
+        }
+        a.push(Instr::Ld { rd: reg::RA, rs1: reg::SP, imm: 0 });
+        a.push(Instr::Addi { rd: reg::SP, rs1: reg::SP, imm: 8 });
+        a.push(Instr::Jalr { rd: reg::ZERO, rs1: reg::RA, imm: 0 });
+    } else {
+        // Pure trampoline: the aligned entry tail-jumps into the function,
+        // which returns straight to the proxy through `ra` (and the return
+        // capability in c7).
+        a.j(target);
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdvm::isa::INSTR_BYTES;
+
+    fn count_instrs(f: impl FnOnce(&mut Asm)) -> u64 {
+        let mut a = Asm::new();
+        f(&mut a);
+        a.here() / INSTR_BYTES
+    }
+
+    #[test]
+    fn low_policy_stub_is_just_the_call() {
+        let n = count_instrs(|a| {
+            emit_caller_stub(a, Signature::regs(1, 1), IsoProps::LOW, &[]);
+        });
+        assert_eq!(n, 1, "Low policy must not add stub code around the call");
+    }
+
+    #[test]
+    fn high_policy_stub_saves_and_zeroes() {
+        let lean = count_instrs(|a| {
+            emit_caller_stub(a, Signature::regs(1, 1), IsoProps::LOW, &[]);
+        });
+        let fat = count_instrs(|a| {
+            emit_caller_stub(
+                a,
+                Signature::regs(1, 1),
+                IsoProps::HIGH,
+                &reg::CALLEE_SAVED,
+            );
+        });
+        assert!(fat > lean + 20, "High policy must emit real isolation work");
+    }
+
+    #[test]
+    fn liveness_shrinks_the_stub() {
+        // The §5.3.1 point: co-optimization with liveness information beats
+        // the worst case.
+        let worst = count_instrs(|a| {
+            emit_caller_stub(a, Signature::regs(1, 1), IsoProps::REG_INTEGRITY, &reg::CALLEE_SAVED);
+        });
+        let lively = count_instrs(|a| {
+            emit_caller_stub(a, Signature::regs(1, 1), IsoProps::REG_INTEGRITY, &[reg::S0]);
+        });
+        assert!(lively < worst);
+    }
+
+    #[test]
+    fn proxy_only_props_emit_nothing_in_stub() {
+        let n = count_instrs(|a| {
+            emit_caller_stub(
+                a,
+                Signature::regs(1, 1),
+                IsoProps::STACK_CONF | IsoProps::DCS_CONF | IsoProps::DCS_INTEGRITY,
+                &[],
+            );
+        });
+        assert_eq!(n, 1, "proxy-side properties are not the stub's business");
+    }
+
+    #[test]
+    fn callee_stub_is_aligned_and_returns_via_saved_ra() {
+        let mut a = Asm::new();
+        a.push(Instr::Nop);
+        a.label("f");
+        a.push(Instr::Add { rd: reg::A0, rs1: reg::A0, rs2: reg::A0 });
+        a.ret();
+        let label = emit_callee_stub(&mut a, "f", Signature::regs(1, 1), IsoProps::REG_CONF);
+        let p = a.finish();
+        assert_eq!(p.label(&label) % 64, 0, "entry points must be aligned");
+    }
+}

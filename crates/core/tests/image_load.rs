@@ -1,0 +1,63 @@
+//! An image compiled to bytes, "shipped", deserialized and loaded must run
+//! identically to the in-memory spec (the §5.3.2 compiler → loader path).
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::{AppSpec, DipcImage, IsoProps, Signature, World};
+use simkernel::KernelConfig;
+
+fn specs() -> (AppSpec, AppSpec) {
+    let db = AppSpec::new("db", |a| {
+        a.label("query");
+        a.push(Instr::Addi { rd: A0, rs1: A0, imm: 5 });
+        a.ret();
+    })
+    .export("query", Signature::regs(1, 1), IsoProps::LOW);
+    let web = AppSpec::new("web", |a| {
+        a.label("main");
+        a.li(A0, 37);
+        a.jal(RA, "call_db_query");
+        a.push(Instr::Halt);
+    })
+    .import("db", "query", Signature::regs(1, 1), IsoProps::LOW);
+    (db, web)
+}
+
+#[test]
+fn serialized_images_load_and_run() {
+    let (db, web) = specs();
+    // Compile both to byte images (what a build system would write to disk).
+    let db_bytes = DipcImage::from_spec(&db).to_bytes();
+    let web_bytes = DipcImage::from_spec(&web).to_bytes();
+
+    // "Another machine": fresh world, loads only the byte images.
+    let mut w = World::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+    w.build_image(&DipcImage::from_bytes(&db_bytes).unwrap());
+    w.build_image(&DipcImage::from_bytes(&web_bytes).unwrap());
+    w.link();
+    let tid = w.spawn("web", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&tid].exit_code, 42);
+}
+
+#[test]
+fn image_and_spec_paths_agree() {
+    let run = |via_image: bool| -> u64 {
+        let (db, web) = specs();
+        let mut w = World::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+        if via_image {
+            w.build_image(&DipcImage::from_spec(&db));
+            w.build_image(&DipcImage::from_spec(&web));
+        } else {
+            w.build(db);
+            w.build(web);
+        }
+        w.link();
+        let tid = w.spawn("web", "main", &[]);
+        w.sys.run_to_completion();
+        // Same result *and* same simulated cost.
+        assert_eq!(w.sys.k.threads[&tid].exit_code, 42);
+        w.sys.k.now_max()
+    };
+    assert_eq!(run(true), run(false), "identical code, identical simulated time");
+}

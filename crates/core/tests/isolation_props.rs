@@ -1,0 +1,235 @@
+//! End-to-end semantics of each isolation property (§5.2.3), observed from
+//! inside the programs.
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::{AppSpec, IsoProps, Signature, World};
+use simkernel::KernelConfig;
+
+fn world() -> World {
+    World::new(KernelConfig { cpus: 1, ..KernelConfig::default() })
+}
+
+/// Register integrity: the caller's live callee-saved registers survive a
+/// callee that deliberately clobbers every register it can.
+#[test]
+fn register_integrity_protects_live_state() {
+    let mut w = world();
+    let evil = AppSpec::new("evil", |a| {
+        a.label("clobber");
+        for r in [S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, T0, T1, T2] {
+            a.li(r, 0xbad);
+        }
+        a.li(A0, 1);
+        a.ret();
+    })
+    .export("clobber", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(evil);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.li(S0, 111);
+        a.li(S1, 222);
+        a.jal(RA, "call_evil_clobber");
+        // Exit with s0 + s1: must still be 333.
+        a.push(Instr::Add { rd: A0, rs1: S0, rs2: S1 });
+        a.push(Instr::Halt);
+    })
+    .import_live("evil", "clobber", Signature::regs(1, 1),
+        IsoProps::REG_INTEGRITY, &[S0, S1]);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&tid].exit_code, 333);
+}
+
+/// Without register integrity, the same clobbering is visible — the
+/// property is real, not a side effect of something else.
+#[test]
+fn without_register_integrity_state_is_clobbered() {
+    let mut w = world();
+    let evil = AppSpec::new("evil", |a| {
+        a.label("clobber");
+        a.li(S0, 0xbad);
+        a.li(S1, 0xbad);
+        a.li(A0, 1);
+        a.ret();
+    })
+    .export("clobber", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(evil);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.li(S0, 111);
+        a.li(S1, 222);
+        a.jal(RA, "call_evil_clobber");
+        a.push(Instr::Add { rd: A0, rs1: S0, rs2: S1 });
+        a.push(Instr::Halt);
+    })
+    .import_live("evil", "clobber", Signature::regs(1, 1), IsoProps::LOW, &[]);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&tid].exit_code, 2 * 0xbad);
+}
+
+/// Register confidentiality: the callee observes zeroed non-argument
+/// registers instead of the caller's secrets.
+#[test]
+fn register_confidentiality_hides_caller_secrets() {
+    let mut w = world();
+    // The callee reports what it saw in t0 (a non-argument register).
+    let spy = AppSpec::new("spy", |a| {
+        a.label("peek");
+        a.push(Instr::Add { rd: A0, rs1: T0, rs2: ZERO });
+        a.ret();
+    })
+    .export("peek", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(spy);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.li(T0, 0x5ec3e7); // a secret in a temp register
+        a.li(A0, 0);
+        a.jal(RA, "call_spy_peek");
+        a.push(Instr::Halt);
+    })
+    .import_live("spy", "peek", Signature::regs(1, 1), IsoProps::REG_CONF, &[]);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&tid].exit_code, 0, "the spy saw a zeroed register");
+}
+
+/// Stack integrity: the caller hands the callee capabilities for exactly
+/// the in-stack arguments and scratch space; the callee can use the scratch
+/// area through them, cross-process, with no stack switch.
+#[test]
+fn stack_integrity_caps_let_callee_use_scratch() {
+    let mut w = world();
+    let srv = AppSpec::new("srv", |a| {
+        // Write into the caller's scratch area (one page below sp, reachable
+        // only through the c6 capability the caller's stub created), then
+        // read it back.
+        a.label("scratch");
+        a.push(Instr::Addi { rd: T0, rs1: SP, imm: -256 });
+        a.li(T1, 0x77);
+        a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+        a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
+        a.ret();
+    })
+    .export("scratch", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(srv);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.li(A0, 0);
+        a.jal(RA, "call_srv_scratch");
+        a.push(Instr::Halt);
+    })
+    .import_live("srv", "scratch", Signature::regs(1, 1), IsoProps::STACK_INTEGRITY, &[]);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&tid].exit_code, 0x77);
+}
+
+/// Without the stack-integrity capabilities, the same scratch write is a
+/// P1 violation.
+#[test]
+fn without_stack_caps_callee_cannot_touch_caller_stack() {
+    let mut w = world();
+    let srv = AppSpec::new("srv", |a| {
+        a.label("scratch");
+        a.push(Instr::Addi { rd: T0, rs1: SP, imm: -256 });
+        a.li(T1, 0x77);
+        a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+        a.li(A0, 1);
+        a.ret();
+    })
+    .export("scratch", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(srv);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.li(A0, 0);
+        a.jal(RA, "call_srv_scratch");
+        a.push(Instr::Halt);
+    })
+    .import_live("srv", "scratch", Signature::regs(1, 1), IsoProps::LOW, &[]);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    // The callee faulted; the caller got the errno-style error back.
+    assert_eq!(w.sys.k.threads[&tid].exit_code, dipc::DIPC_ERR_FAULT);
+    assert_eq!(w.sys.unwinds, 1);
+}
+
+/// Stack confidentiality: the callee runs on its own stack — the caller's
+/// stack pointer is not even visible.
+#[test]
+fn stack_confidentiality_switches_stacks() {
+    let mut w = world();
+    let srv = AppSpec::new("srv", |a| {
+        // Return our own sp so the caller can compare.
+        a.label("whichstack");
+        a.push(Instr::Add { rd: A0, rs1: SP, rs2: ZERO });
+        a.ret();
+    })
+    .export("whichstack", Signature::regs(1, 1), IsoProps::STACK_CONF);
+    w.build(srv);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.push(Instr::Add { rd: S0, rs1: SP, rs2: ZERO });
+        a.li(A0, 0);
+        a.jal(RA, "call_srv_whichstack");
+        // Exit 1 if the callee's sp was in a different page than ours.
+        a.push(Instr::Srli { rd: A0, rs1: A0, imm: 12 });
+        a.push(Instr::Srli { rd: S0, rs1: S0, imm: 12 });
+        a.push(Instr::Xor { rd: A0, rs1: A0, rs2: S0 });
+        a.push(Instr::Sltu { rd: A0, rs1: ZERO, rs2: A0 });
+        a.push(Instr::Halt);
+    })
+    .import("srv", "whichstack", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&tid].exit_code, 1, "different stacks");
+}
+
+/// DCS integrity: the callee cannot pop the caller's spilled capabilities.
+#[test]
+fn dcs_integrity_hides_caller_capabilities() {
+    let mut w = world();
+    let srv = AppSpec::new("srv", |a| {
+        // Try to pop a capability from the (caller's) DCS: with DCS
+        // integrity the base was raised, so the pop underflows and faults.
+        a.label("steal");
+        a.cap_pop(0);
+        a.li(A0, 1); // "stole one"
+        a.ret();
+    })
+    .export("steal", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(srv);
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        // Spill a private capability to our DCS.
+        a.li_sym(T0, "$data_priv");
+        a.li(T1, 64);
+        a.push(Instr::CapAplTake { crd: 1, rs1: T0, rs2: T1, imm: 3 });
+        a.cap_push(1);
+        a.li(A0, 0);
+        a.jal(RA, "call_srv_steal");
+        a.push(Instr::Halt);
+    })
+    .import_live("srv", "steal", Signature::regs(1, 1), IsoProps::DCS_INTEGRITY, &[])
+    .data("priv", 4096);
+    w.build(app);
+    w.link();
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+    // The steal faulted (DCS underflow) and the caller got the error.
+    assert_eq!(w.sys.k.threads[&tid].exit_code, dipc::DIPC_ERR_FAULT);
+    assert_eq!(w.sys.unwinds, 1);
+}

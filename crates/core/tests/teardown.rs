@@ -1,0 +1,86 @@
+//! R2's other half: dynamic destruction of domains and the proxies that
+//! point into them.
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::{AppSpec, HandlePerm, IsoProps, Signature, World};
+use simkernel::{KernelConfig, ThreadState};
+
+#[test]
+fn destroying_the_callee_domain_invalidates_proxies() {
+    let mut w = World::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+    let srv = AppSpec::new("srv", |a| {
+        a.label("f");
+        a.li(A0, 7);
+        a.ret();
+    })
+    .export("f", Signature::regs(1, 1), IsoProps::LOW)
+    .data("counter", 64);
+    w.build(srv);
+    let cli = AppSpec::new("cli", |a| {
+        a.label("main");
+        // First call succeeds; signal; wait for the teardown; second call
+        // must not reach the (gone) callee.
+        a.jal(RA, "call_srv_f");
+        a.push(Instr::Add { rd: S0, rs1: A0, rs2: ZERO });
+        a.li_sym(S1, "$data_flag");
+        a.li(T0, 1);
+        a.push(Instr::St { rs1: S1, rs2: T0, imm: 0 });
+        a.label("wait");
+        a.push(Instr::Ld { rd: T0, rs1: S1, imm: 0 });
+        a.li(T1, 2);
+        a.bne(T0, T1, "wait");
+        a.jal(RA, "call_srv_f");
+        a.push(Instr::Halt);
+    })
+    .import("srv", "f", Signature::regs(1, 1), IsoProps::LOW)
+    .data("flag", 64);
+    w.build(cli);
+    w.link();
+    let tid = w.spawn("cli", "main", &[]);
+    let flag = w.app("cli").data["flag"];
+    let srv_pid = w.app("srv").pid;
+    let srv_dom = w.app("srv").dom;
+
+    // Let the first call complete.
+    w.sys.run_until(|s| s.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, flag).unwrap() == 1);
+    // Tear the server's default domain down and release the client.
+    w.sys.dom_destroy(srv_pid, srv_dom).unwrap();
+    w.sys.k.mem.kwrite_u64(simmem::Memory::GLOBAL_PT, flag, 2).unwrap();
+    w.sys.run_to_completion();
+    // The second call faulted (proxy grants revoked); with no live KCS
+    // caller... actually the call never entered a proxy, so the client
+    // process dies on the denied jump.
+    assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
+    let cli_pid = w.app("cli").pid;
+    assert!(
+        !w.sys.k.procs[&cli_pid].alive,
+        "calling a destroyed domain is a fault, not a hang"
+    );
+}
+
+#[test]
+fn destroy_requires_owner() {
+    let mut w = World::new(KernelConfig::default());
+    let p = w.sys.k.create_process("p", true);
+    let dom = w.sys.dom_create(p);
+    let ro = w.sys.dom_copy(p, dom, HandlePerm::Read).unwrap();
+    assert!(w.sys.dom_destroy(p, ro).is_err());
+    assert!(w.sys.dom_destroy(p, dom).is_ok());
+    // Handles to the dead domain are gone.
+    assert!(w.sys.dom_destroy(p, dom).is_err());
+}
+
+#[test]
+fn destroy_unmaps_domain_memory() {
+    let mut w = World::new(KernelConfig::default());
+    let p = w.sys.k.create_process("p", true);
+    let dom = w.sys.dom_create(p);
+    let addr = w.sys.dom_mmap(p, dom, 8192, simmem::PageFlags::RW).unwrap();
+    assert!(w.sys.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, addr).is_ok());
+    w.sys.dom_destroy(p, dom).unwrap();
+    assert!(
+        w.sys.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, addr).is_err(),
+        "pages of a destroyed domain are unmapped"
+    );
+}

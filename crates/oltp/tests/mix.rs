@@ -1,0 +1,30 @@
+//! The DVDStore-style transaction mix: mixed operations complete in every
+//! configuration, with throughput close to the equal-mean fixed workload.
+
+use oltp::params::OpMix;
+use oltp::{dipc_stack, ideal_stack, linux_stack, OltpParams, StorageKind};
+
+#[test]
+fn mixed_workload_runs_everywhere() {
+    let mut p = OltpParams::with(8, StorageKind::InMemory);
+    p.mix = Some(OpMix::default());
+    // Mean queries/op ≈ the fixed default, so throughput should be close.
+    assert!((90.0..110.0).contains(&OpMix::default().mean_queries()));
+    let fixed = {
+        let pf = OltpParams::with(8, StorageKind::InMemory);
+        ideal_stack::build(&pf).run(20, 150, 8).ops_per_min
+    };
+    for (name, r) in [
+        ("linux", linux_stack::build(&p).run(20, 150, 8)),
+        ("dipc", dipc_stack::build(&p).run(20, 150, 8)),
+        ("ideal", ideal_stack::build(&p).run(20, 150, 8)),
+    ] {
+        assert!(r.ops > 5, "{name} made no progress");
+    }
+    let mixed = ideal_stack::build(&p).run(20, 300, 8).ops_per_min;
+    let ratio = mixed / fixed;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "mixed vs fixed throughput ratio {ratio:.2} (means should match)"
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 8 shape at reduced scale.
+
+use oltp::{dipc_stack, ideal_stack, linux_stack, OltpParams, StorageKind};
+
+#[test]
+fn figure8_shape() {
+    for storage in [StorageKind::InMemory, StorageKind::Disk] {
+        eprintln!("--- {storage:?} ---");
+        for conc in [4u64, 16, 64] {
+            let p = OltpParams::with(conc, storage);
+            let rl = linux_stack::build(&p).run(20, 150, conc);
+            let rd = dipc_stack::build(&p).run(20, 150, conc);
+            let ri = ideal_stack::build(&p).run(20, 150, conc);
+            eprintln!(
+                "conc {conc:3}: linux {:8.0} dipc {:8.0} ideal {:8.0} | speedup {:4.2}x ideal-speedup {:4.2}x eff {:4.1}% | linux u/k/i {:2.0}/{:2.0}/{:2.0} ideal {:2.0}/{:2.0}/{:2.0}",
+                rl.ops_per_min, rd.ops_per_min, ri.ops_per_min,
+                rd.ops_per_min / rl.ops_per_min,
+                ri.ops_per_min / rl.ops_per_min,
+                100.0 * rd.ops_per_min / ri.ops_per_min,
+                rl.user_frac*100.0, rl.kernel_frac*100.0, rl.idle_frac*100.0,
+                ri.user_frac*100.0, ri.kernel_frac*100.0, ri.idle_frac*100.0,
+            );
+            assert!(rd.ops_per_min > rl.ops_per_min, "dIPC must beat Linux");
+            assert!(rd.ops_per_min > 0.9 * ri.ops_per_min, "dIPC >= 90% of Ideal");
+        }
+    }
+}

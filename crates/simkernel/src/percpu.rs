@@ -1,0 +1,105 @@
+//! Per-CPU memory layout shared between the kernel and dIPC proxies.
+//!
+//! Each CPU owns one page in a *kernel-shared* CODOMs domain; the `gs`
+//! register points at it. Generated dIPC proxies run on privileged-capability
+//! pages and read/write these slots directly (their proxy domain is granted
+//! write access to the kernel-shared domain), which is what lets
+//! `track_process_call` switch the current process without entering the
+//! kernel (§6.1.2). Regular user domains have no grant toward the
+//! kernel-shared domain, so they can read `gs` but never dereference it.
+
+/// Offset of the current process id slot.
+pub const CUR_PID: u64 = 0;
+/// Offset of the current (global) thread id slot.
+pub const CUR_TID: u64 = 8;
+/// Offset of the current thread's KCS top pointer (address of the next free
+/// KCS slot).
+pub const KCS_TOP: u64 = 16;
+/// Offset of the current thread's KCS base (for underflow checks and
+/// unwinding).
+pub const KCS_BASE: u64 = 24;
+/// Offset of the pointer to the current thread's 32-entry process-tracking
+/// cache array (§6.1.2).
+pub const PROC_CACHE: u64 = 32;
+/// Offset of this CPU's index (read-only convenience).
+pub const CPU_INDEX: u64 = 40;
+/// Offset of the current thread's KCS limit (proxies bound-check pushes).
+pub const KCS_LIMIT: u64 = 48;
+/// Scratch slots for proxy cold paths (must stay above all named slots).
+pub const SCRATCH: u64 = 56;
+
+/// Size of one process-tracking cache entry:
+/// `(pid, per-process tid, tls base, stack top, dcs page)`.
+pub const PROC_CACHE_ENTRY: u64 = 40;
+/// Tracking-entry field offsets.
+pub mod track {
+    /// Target process id (0 = invalid entry).
+    pub const PID: u64 = 0;
+    /// Per-process thread identifier (§5.2.1: "primary threads appear with
+    /// different identifiers on each process").
+    pub const TIDP: u64 = 8;
+    /// TLS base for this thread in the target process.
+    pub const TLS: u64 = 16;
+    /// Stack top for this thread in the target domain/process.
+    pub const STACK: u64 = 24;
+    /// DCS window page for this thread in the target domain/process.
+    pub const DCS: u64 = 32;
+}
+/// Number of entries in the process-tracking cache array (one per hardware
+/// domain tag; the APL cache has 32 entries, §4.3).
+pub const PROC_CACHE_ENTRIES: u64 = 32;
+/// Byte size of the process-tracking cache array.
+pub const PROC_CACHE_BYTES: u64 = PROC_CACHE_ENTRY * PROC_CACHE_ENTRIES;
+
+/// Size of one KCS (kernel control stack) entry pushed by a proxy call and
+/// popped by its return (§5.2.1).
+pub const KCS_ENTRY: u64 = 80;
+/// KCS entry field offsets.
+pub mod kcs {
+    /// Caller's process id.
+    pub const CALLER_PID: u64 = 0;
+    /// Saved return address (copied from the caller's `ra`).
+    pub const RET_ADDR: u64 = 8;
+    /// Caller's stack pointer.
+    pub const CALLER_SP: u64 = 16;
+    /// Identifier of the proxy that pushed this entry (for fault unwinding).
+    pub const PROXY_ID: u64 = 24;
+    /// Caller's TLS base.
+    pub const CALLER_TLS: u64 = 32;
+    /// Caller's DCS window start.
+    pub const DCS_START: u64 = 40;
+    /// Caller's DCS window limit.
+    pub const DCS_LIMIT: u64 = 48;
+    /// Caller's DCS base register.
+    pub const DCS_BASE: u64 = 56;
+    /// Caller's DCS top register.
+    pub const DCS_TOP: u64 = 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_do_not_overlap() {
+        let slots = [CUR_PID, CUR_TID, KCS_TOP, KCS_BASE, PROC_CACHE, CPU_INDEX, KCS_LIMIT, SCRATCH];
+        for w in slots.windows(2) {
+            assert!(w[1] >= w[0] + 8);
+        }
+    }
+
+    #[test]
+    fn kcs_fields_fit_entry() {
+        assert!(kcs::DCS_TOP + 8 <= KCS_ENTRY);
+    }
+
+    #[test]
+    fn track_fields_fit_entry() {
+        assert!(track::DCS + 8 <= PROC_CACHE_ENTRY);
+    }
+
+    #[test]
+    fn proc_cache_fits_a_page() {
+        assert!(PROC_CACHE_BYTES <= simmem::PAGE_SIZE);
+    }
+}

@@ -1,0 +1,122 @@
+//! Syscall numbers and argument conventions.
+//!
+//! Number in `a7`, arguments in `a0`–`a5`, result in `a0`. Negative results
+//! (two's complement) are `-errno`.
+
+/// Syscall numbers.
+pub mod nr {
+    /// exit(code) — terminate the calling thread.
+    pub const EXIT: u64 = 1;
+    /// exit_group(code) — terminate the whole process.
+    pub const EXIT_GROUP: u64 = 2;
+    /// getpid() → pid of the *current* process (per-CPU tracking honored).
+    pub const GETPID: u64 = 3;
+    /// gettid() → global thread id.
+    pub const GETTID: u64 = 4;
+    /// mmap_anon(size) → addr (RW pages in the current process's domain).
+    pub const MMAP: u64 = 6;
+    /// pipe2() → (read_fd << 32) | write_fd.
+    pub const PIPE2: u64 = 7;
+    /// read(fd, buf, len) → bytes (blocks on empty pipe/socket).
+    pub const READ: u64 = 8;
+    /// write(fd, buf, len) → bytes (blocks on full pipe/socket).
+    pub const WRITE: u64 = 9;
+    /// close(fd).
+    pub const CLOSE: u64 = 10;
+    /// futex_wait(addr, expected) — block while `*addr == expected`.
+    pub const FUTEX_WAIT: u64 = 11;
+    /// futex_wake(addr, n) → number woken.
+    pub const FUTEX_WAKE: u64 = 12;
+    /// sock_listen(name_ptr, name_len) → listener fd.
+    pub const SOCK_LISTEN: u64 = 13;
+    /// sock_connect(name_ptr, name_len) → fd (blocks until accepted).
+    pub const SOCK_CONNECT: u64 = 14;
+    /// sock_accept(listener_fd) → fd (blocks).
+    pub const SOCK_ACCEPT: u64 = 15;
+    /// spawn_thread(entry_pc, arg) → tid (kernel allocates the stack).
+    pub const SPAWN_THREAD: u64 = 16;
+    /// sleep_ns(ns).
+    pub const SLEEP_NS: u64 = 17;
+    /// yield.
+    pub const YIELD: u64 = 18;
+    /// pin_cpu(cpu) — set the calling thread's affinity.
+    pub const PIN_CPU: u64 = 19;
+    /// file_open(path_ptr, path_len) → fd.
+    pub const FILE_OPEN: u64 = 20;
+    /// file_read(fd, buf, len) → bytes (charges storage latency).
+    pub const FILE_READ: u64 = 21;
+    /// file_write(fd, buf, len) → bytes (charges storage latency).
+    pub const FILE_WRITE: u64 = 22;
+    /// clock_ns() → current simulated time in ns.
+    pub const CLOCK_NS: u64 = 23;
+    /// l4_call(dst_tid, m0, m1, m2, m3) → (answered in registers).
+    ///
+    /// L4-style synchronous IPC: direct switch to the callee thread, message
+    /// "inlined in registers" (§2.2). Caller blocks until l4_reply.
+    pub const L4_CALL: u64 = 24;
+    /// l4_reply_wait(caller_tid, m0, m1, m2, m3) → next call's
+    /// (caller_tid, m0..m3). First call uses caller_tid = 0 (pure wait).
+    pub const L4_REPLY_WAIT: u64 = 25;
+    /// shm_create(size) → shm fd.
+    pub const SHM_CREATE: u64 = 26;
+    /// shm_map(fd) → addr (maps into the calling process).
+    pub const SHM_MAP: u64 = 27;
+    /// send_fd(sock_fd, fd) — pass an fd over a socket (SCM_RIGHTS).
+    pub const SEND_FD: u64 = 28;
+    /// recv_fd(sock_fd) → fd (blocks).
+    pub const RECV_FD: u64 = 29;
+    /// First syscall number reserved for embedding layers (dIPC uses
+    /// 100–149; see the `dipc` crate).
+    pub const EXTERNAL_BASE: u64 = 100;
+}
+
+/// Well-known errno values (returned as `-errno`).
+pub mod errno {
+    /// Bad file descriptor.
+    pub const EBADF: u64 = 9;
+    /// Try again (futex value mismatch).
+    pub const EAGAIN: u64 = 11;
+    /// Bad address.
+    pub const EFAULT: u64 = 14;
+    /// Invalid argument.
+    pub const EINVAL: u64 = 22;
+    /// Broken pipe.
+    pub const EPIPE: u64 = 32;
+    /// No such file.
+    pub const ENOENT: u64 = 2;
+    /// Not connected / peer gone.
+    pub const ENOTCONN: u64 = 107;
+    /// Function not implemented.
+    pub const ENOSYS: u64 = 38;
+    /// No such process/thread.
+    pub const ESRCH: u64 = 3;
+}
+
+/// Encodes `-errno` as a u64 result.
+#[inline]
+pub fn err(e: u64) -> u64 {
+    (-(e as i64)) as u64
+}
+
+/// Decodes a result: `Ok(value)` or `Err(errno)`.
+#[inline]
+pub fn decode(ret: u64) -> Result<u64, u64> {
+    let s = ret as i64;
+    if (-4095..0).contains(&s) {
+        Err((-s) as u64)
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_roundtrip() {
+        assert_eq!(decode(err(errno::EBADF)), Err(errno::EBADF));
+        assert_eq!(decode(5), Ok(5));
+        assert_eq!(decode(u64::MAX - 4095), Ok(u64::MAX - 4095));
+    }
+}

@@ -1,0 +1,77 @@
+//! Regression: socket transfers larger than the receive buffer must not
+//! deadlock (senders park on the destination end's waiter list).
+
+use std::collections::HashMap;
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use simkernel::object::{KObject, Sock};
+use simkernel::{sysno, Kernel, KernelConfig};
+
+fn sys(a: &mut Asm, n: u64) {
+    a.li(A7, n);
+    a.push(Instr::Ecall);
+}
+
+#[test]
+fn oversized_socket_transfer_completes() {
+    let total: u64 = 512 * 1024; // 512 KiB >> the 208 KiB socket buffer
+    let mut k = Kernel::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+    let pa = k.create_process("writer", false);
+    let pb = k.create_process("reader", false);
+    k.socks.push(Sock::new());
+    k.socks.push(Sock::new());
+    let (s1, s2) = (k.socks.len() - 2, k.socks.len() - 1);
+    k.socks[s1].peer = s2;
+    k.socks[s2].peer = s1;
+    let wfd = k.procs.get_mut(&pa).unwrap().add_fd(KObject::Sock(s1)).0;
+    let rfd = k.procs.get_mut(&pb).unwrap().add_fd(KObject::Sock(s2)).0;
+
+    // Writer: write_all(total).
+    let mut a = Asm::new();
+    a.li(S0, wfd as u64);
+    a.li_sym(S1, "$buf");
+    a.li(S2, total);
+    a.li(T1, 0);
+    a.label("wl");
+    a.bgeu(T1, S2, "done");
+    a.push(Instr::Add { rd: A0, rs1: S0, rs2: ZERO });
+    a.push(Instr::Add { rd: A1, rs1: S1, rs2: ZERO });
+    a.push(Instr::Sub { rd: A2, rs1: S2, rs2: T1 });
+    sys(&mut a, sysno::WRITE);
+    a.push(Instr::Add { rd: T1, rs1: T1, rs2: A0 });
+    a.j("wl");
+    a.label("done");
+    a.push(Instr::Halt);
+    let wp = a.finish();
+
+    // Reader: read until total received; exit with bytes read.
+    let mut a = Asm::new();
+    a.li(S0, rfd as u64);
+    a.li_sym(S1, "$buf");
+    a.li(S2, total);
+    a.li(T1, 0);
+    a.label("rl");
+    a.bgeu(T1, S2, "done");
+    a.push(Instr::Add { rd: A0, rs1: S0, rs2: ZERO });
+    a.push(Instr::Add { rd: A1, rs1: S1, rs2: ZERO });
+    a.push(Instr::Sub { rd: A2, rs1: S2, rs2: T1 });
+    sys(&mut a, sysno::READ);
+    a.push(Instr::Add { rd: T1, rs1: T1, rs2: A0 });
+    a.j("rl");
+    a.label("done");
+    a.push(Instr::Add { rd: A0, rs1: T1, rs2: ZERO });
+    a.push(Instr::Halt);
+    let rp = a.finish();
+
+    let mut tids = Vec::new();
+    for (pid, prog) in [(pa, &wp), (pb, &rp)] {
+        let buf = k.alloc_mem(pid, total, simmem::PageFlags::RW);
+        let mut ex = HashMap::new();
+        ex.insert("$buf".to_string(), buf);
+        let img = k.load_program(pid, prog, &ex);
+        tids.push(k.spawn_thread(pid, img.base, &[]));
+    }
+    k.run_to_completion();
+    assert_eq!(k.threads[&tids[1]].exit_code, total, "all bytes arrived");
+}

@@ -1,0 +1,232 @@
+//! Page-granularity constants and per-page CODOMs metadata.
+
+use core::fmt;
+
+/// Log2 of the page size (4 KiB pages, as on the paper's x86-64 testbed).
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Mask of the in-page offset bits.
+pub const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+/// Returns the virtual page number containing `addr`.
+#[inline]
+pub fn vpn(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+/// Returns the in-page offset of `addr`.
+#[inline]
+pub fn page_offset(addr: u64) -> u64 {
+    addr & PAGE_MASK
+}
+
+/// Rounds `addr` down to a page boundary.
+#[inline]
+pub fn page_align_down(addr: u64) -> u64 {
+    addr & !PAGE_MASK
+}
+
+/// Rounds `addr` up to a page boundary.
+#[inline]
+pub fn page_align_up(addr: u64) -> u64 {
+    (addr.wrapping_add(PAGE_MASK)) & !PAGE_MASK
+}
+
+/// A CODOMs protection-domain tag.
+///
+/// Each page in a page table is associated with a domain tag (§4.1 of the
+/// paper, "in the spirit of architectures with memory protection keys").
+/// Tag 0 is reserved for the kernel's own domain.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainTag(pub u32);
+
+impl DomainTag {
+    /// The kernel/supervisor domain tag.
+    pub const KERNEL: DomainTag = DomainTag(0);
+
+    /// Returns the raw tag value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DomainTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+impl fmt::Display for DomainTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// Per-page protection and CODOMs attribute bits.
+///
+/// `READ`/`WRITE`/`EXEC` are the conventional page-protection bits, which
+/// CODOMs honors on top of APL permissions ("an APL with write access to a
+/// domain will not allow writing into a read-only page of that domain", §4.1).
+///
+/// `PRIV_CAP` is the CODOMs *privileged capability bit*: code pages with this
+/// bit may execute privileged instructions, "eliminating the need for system
+/// call instructions and privilege mode switches" (§4.1). dIPC proxies run
+/// from such pages.
+///
+/// `CAP_STORE` is the *capability storage bit*: capabilities may only be
+/// stored to / loaded from pages with this bit set (§4.2), which lets CODOMs
+/// distinguish capabilities from data without memory tagging.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageFlags(u8);
+
+impl PageFlags {
+    /// No access.
+    pub const NONE: PageFlags = PageFlags(0);
+    /// Readable page.
+    pub const READ: PageFlags = PageFlags(1 << 0);
+    /// Writable page.
+    pub const WRITE: PageFlags = PageFlags(1 << 1);
+    /// Executable page.
+    pub const EXEC: PageFlags = PageFlags(1 << 2);
+    /// CODOMs privileged-capability bit.
+    pub const PRIV_CAP: PageFlags = PageFlags(1 << 3);
+    /// CODOMs capability-storage bit.
+    pub const CAP_STORE: PageFlags = PageFlags(1 << 4);
+
+    /// Read + write.
+    pub const RW: PageFlags = PageFlags(0b11);
+    /// Read + exec.
+    pub const RX: PageFlags = PageFlags(0b101);
+    /// Read + write + exec.
+    pub const RWX: PageFlags = PageFlags(0b111);
+
+    /// Returns an empty flag set.
+    #[inline]
+    pub const fn empty() -> PageFlags {
+        PageFlags(0)
+    }
+
+    /// Returns true if *all* bits of `other` are set in `self`.
+    #[inline]
+    pub const fn contains(self, other: PageFlags) -> bool {
+        (self.0 & other.0) == other.0
+    }
+
+    /// Returns the union of two flag sets.
+    #[inline]
+    pub const fn union(self, other: PageFlags) -> PageFlags {
+        PageFlags(self.0 | other.0)
+    }
+
+    /// Returns the flag set with the bits of `other` removed.
+    #[inline]
+    pub const fn without(self, other: PageFlags) -> PageFlags {
+        PageFlags(self.0 & !other.0)
+    }
+
+    /// Raw bits accessor (for compact storage).
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds flags from raw bits. Unknown bits are preserved but unused.
+    #[inline]
+    pub const fn from_bits(bits: u8) -> PageFlags {
+        PageFlags(bits)
+    }
+}
+
+impl core::ops::BitOr for PageFlags {
+    type Output = PageFlags;
+    fn bitor(self, rhs: PageFlags) -> PageFlags {
+        self.union(rhs)
+    }
+}
+
+impl core::ops::BitOrAssign for PageFlags {
+    fn bitor_assign(&mut self, rhs: PageFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for PageFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        for (bit, ch) in [
+            (PageFlags::READ, 'r'),
+            (PageFlags::WRITE, 'w'),
+            (PageFlags::EXEC, 'x'),
+            (PageFlags::PRIV_CAP, 'p'),
+            (PageFlags::CAP_STORE, 'c'),
+        ] {
+            s.push(if self.contains(bit) { ch } else { '-' });
+        }
+        f.write_str(&s)
+    }
+}
+
+/// The kind of access being attempted, used in fault reporting and checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Data read (loads, capability loads).
+    Read,
+    /// Data write (stores, capability stores).
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+impl Access {
+    /// The page-flag bit this access requires.
+    #[inline]
+    pub fn required_flag(self) -> PageFlags {
+        match self {
+            Access::Read => PageFlags::READ,
+            Access::Write => PageFlags::WRITE,
+            Access::Exec => PageFlags::EXEC,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        assert_eq!(page_align_down(0x1234), 0x1000);
+        assert_eq!(page_align_up(0x1234), 0x2000);
+        assert_eq!(page_align_up(0x1000), 0x1000);
+        assert_eq!(page_align_down(0), 0);
+        assert_eq!(vpn(0x3fff), 3);
+        assert_eq!(page_offset(0x3fff), 0xfff);
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = PageFlags::READ | PageFlags::WRITE;
+        assert!(f.contains(PageFlags::READ));
+        assert!(f.contains(PageFlags::RW));
+        assert!(!f.contains(PageFlags::EXEC));
+        assert_eq!(f.without(PageFlags::WRITE), PageFlags::READ);
+        assert_eq!(format!("{:?}", PageFlags::RX | PageFlags::PRIV_CAP), "r-xp-");
+    }
+
+    #[test]
+    fn access_flags() {
+        assert_eq!(Access::Read.required_flag(), PageFlags::READ);
+        assert_eq!(Access::Write.required_flag(), PageFlags::WRITE);
+        assert_eq!(Access::Exec.required_flag(), PageFlags::EXEC);
+    }
+
+    #[test]
+    fn flags_bits_roundtrip() {
+        let f = PageFlags::RWX | PageFlags::CAP_STORE;
+        assert_eq!(PageFlags::from_bits(f.bits()), f);
+    }
+}

@@ -1,0 +1,164 @@
+//! Sparse simulated physical memory.
+//!
+//! Frames are allocated lazily and zero-filled, so a simulation can pretend to
+//! have a large physical memory (the paper's testbed has 16 GB) while only
+//! paying for frames actually touched.
+
+use std::collections::HashMap;
+
+use crate::page::{page_offset, PAGE_SIZE};
+
+/// Identifier of a physical frame (frame number, not byte address).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FrameId(pub u64);
+
+/// Sparse physical memory: a pool of 4 KiB frames.
+pub struct PhysMem {
+    frames: HashMap<FrameId, Box<[u8]>>,
+    next_frame: u64,
+    free: Vec<FrameId>,
+}
+
+impl Default for PhysMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhysMem {
+    /// Creates an empty physical memory.
+    pub fn new() -> PhysMem {
+        PhysMem { frames: HashMap::new(), next_frame: 1, free: Vec::new() }
+    }
+
+    /// Allocates a fresh zeroed frame.
+    pub fn alloc_frame(&mut self) -> FrameId {
+        let id = self.free.pop().unwrap_or_else(|| {
+            let id = FrameId(self.next_frame);
+            self.next_frame += 1;
+            id
+        });
+        self.frames.insert(id, vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        id
+    }
+
+    /// Releases a frame back to the pool.
+    ///
+    /// Releasing a frame that was never allocated (or already freed) is a
+    /// logic error in the caller and panics, since the kernel owns frame
+    /// lifetimes exclusively.
+    pub fn free_frame(&mut self, id: FrameId) {
+        let existed = self.frames.remove(&id).is_some();
+        assert!(existed, "double free of physical frame {id:?}");
+        self.free.push(id);
+    }
+
+    /// Number of live frames.
+    pub fn live_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Reads bytes from a frame at `offset`. The read must not cross the
+    /// frame boundary.
+    pub fn read(&self, id: FrameId, offset: u64, buf: &mut [u8]) {
+        let frame = self.frame(id);
+        let off = offset as usize;
+        buf.copy_from_slice(&frame[off..off + buf.len()]);
+    }
+
+    /// Writes bytes into a frame at `offset`. The write must not cross the
+    /// frame boundary.
+    pub fn write(&mut self, id: FrameId, offset: u64, buf: &[u8]) {
+        let frame = self.frame_mut(id);
+        let off = offset as usize;
+        frame[off..off + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Reads a little-endian u64 at `offset` (must be within the frame).
+    pub fn read_u64(&self, id: FrameId, offset: u64) -> u64 {
+        debug_assert!(page_offset(offset) == offset && offset + 8 <= PAGE_SIZE);
+        let mut b = [0u8; 8];
+        self.read(id, offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 at `offset` (must be within the frame).
+    pub fn write_u64(&mut self, id: FrameId, offset: u64, value: u64) {
+        debug_assert!(page_offset(offset) == offset && offset + 8 <= PAGE_SIZE);
+        self.write(id, offset, &value.to_le_bytes());
+    }
+
+    /// Copies a whole frame's contents onto another frame (copy-on-write
+    /// support).
+    pub fn copy_frame(&mut self, src: FrameId, dst: FrameId) {
+        let data = self.frame(src).to_vec();
+        self.frame_mut(dst).copy_from_slice(&data);
+    }
+
+    fn frame(&self, id: FrameId) -> &[u8] {
+        self.frames.get(&id).unwrap_or_else(|| panic!("access to unmapped frame {id:?}"))
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> &mut [u8] {
+        self.frames.get_mut(&id).unwrap_or_else(|| panic!("access to unmapped frame {id:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write() {
+        let mut pm = PhysMem::new();
+        let f = pm.alloc_frame();
+        let mut buf = [0u8; 4];
+        pm.read(f, 0, &mut buf);
+        assert_eq!(buf, [0, 0, 0, 0]);
+        pm.write(f, 100, &[1, 2, 3, 4]);
+        pm.read(f, 100, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut pm = PhysMem::new();
+        let f = pm.alloc_frame();
+        pm.write_u64(f, 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(pm.read_u64(f, 8), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn free_and_reuse_zeroes() {
+        let mut pm = PhysMem::new();
+        let f = pm.alloc_frame();
+        pm.write(f, 0, &[0xff]);
+        pm.free_frame(f);
+        let g = pm.alloc_frame();
+        // The recycled frame must be zeroed.
+        let mut b = [0xaau8; 1];
+        pm.read(g, 0, &mut b);
+        assert_eq!(b, [0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pm = PhysMem::new();
+        let f = pm.alloc_frame();
+        pm.free_frame(f);
+        pm.free_frame(f);
+    }
+
+    #[test]
+    fn copy_frame_copies() {
+        let mut pm = PhysMem::new();
+        let a = pm.alloc_frame();
+        let b = pm.alloc_frame();
+        pm.write(a, 42, &[7; 8]);
+        pm.copy_frame(a, b);
+        let mut buf = [0u8; 8];
+        pm.read(b, 42, &mut buf);
+        assert_eq!(buf, [7; 8]);
+    }
+}

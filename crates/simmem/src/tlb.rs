@@ -1,0 +1,173 @@
+//! A small set-associative TLB model.
+//!
+//! The TLB is used purely for *cost accounting*: translations always go
+//! through the page table for correctness, but the TLB decides whether a
+//! page-walk penalty is charged. Page-table switches flush the TLB, which is
+//! how the simulation reproduces "block 6" (page-table switch) costs and the
+//! second-order overheads of process switching described in §2.2.
+
+use crate::page::vpn;
+use crate::pagetable::PageTableId;
+
+/// TLB geometry configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TlbConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        // Loosely modeled after an Ivy Bridge L1 DTLB (64 entries, 4-way).
+        TlbConfig { sets: 16, ways: 4 }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed (page walk charged).
+    pub misses: u64,
+    /// Number of whole-TLB flushes (page-table switches).
+    pub flushes: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    vpn: u64,
+    pt: PageTableId,
+    lru: u64,
+}
+
+/// Set-associative TLB with LRU replacement.
+pub struct Tlb {
+    config: TlbConfig,
+    sets: Vec<Vec<Entry>>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given geometry.
+    pub fn new(config: TlbConfig) -> Tlb {
+        Tlb { config, sets: vec![Vec::new(); config.sets], tick: 0, stats: TlbStats::default() }
+    }
+
+    /// Looks up a translation; fills the entry on miss.
+    ///
+    /// Returns `true` on hit.
+    pub fn access(&mut self, pt: PageTableId, addr: u64) -> bool {
+        self.tick += 1;
+        let vpn = vpn(addr);
+        let set_idx = (vpn as usize) % self.config.sets;
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn && e.pt == pt) {
+            e.lru = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let entry = Entry { vpn, pt, lru: self.tick };
+        if set.len() < self.config.ways {
+            set.push(entry);
+        } else {
+            // Evict the LRU way.
+            let victim = set
+                .iter_mut()
+                .min_by_key(|e| e.lru)
+                .expect("non-empty set must have an LRU victim");
+            *victim = entry;
+        }
+        false
+    }
+
+    /// Invalidates a single page's translation (TLB shootdown).
+    pub fn invalidate(&mut self, pt: PageTableId, addr: u64) {
+        let vpn = vpn(addr);
+        let set_idx = (vpn as usize) % self.config.sets;
+        self.sets[set_idx].retain(|e| !(e.vpn == vpn && e.pt == pt));
+    }
+
+    /// Flushes the entire TLB (page-table switch without ASIDs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats.flushes += 1;
+    }
+
+    /// Returns the counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Number of valid entries currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new(TlbConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    const PT: PageTableId = PageTableId(0);
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::default();
+        assert!(!tlb.access(PT, 0x1000));
+        assert!(tlb.access(PT, 0x1008)); // same page
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1, flushes: 0 });
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut tlb = Tlb::default();
+        tlb.access(PT, 0x1000);
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+        assert!(!tlb.access(PT, 0x1000));
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn distinct_page_tables_do_not_alias() {
+        let mut tlb = Tlb::default();
+        tlb.access(PageTableId(0), 0x1000);
+        assert!(!tlb.access(PageTableId(1), 0x1000));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let cfg = TlbConfig { sets: 1, ways: 2 };
+        let mut tlb = Tlb::new(cfg);
+        tlb.access(PT, 0); // page 0
+        tlb.access(PT, PAGE_SIZE); // page 1
+        tlb.access(PT, 0); // touch page 0, page 1 is now LRU
+        tlb.access(PT, 2 * PAGE_SIZE); // evicts page 1
+        assert!(tlb.access(PT, 0), "page 0 must survive");
+        assert!(!tlb.access(PT, PAGE_SIZE), "page 1 must have been evicted");
+    }
+
+    #[test]
+    fn invalidate_single_page() {
+        let mut tlb = Tlb::default();
+        tlb.access(PT, 0x1000);
+        tlb.access(PT, 0x2000);
+        tlb.invalidate(PT, 0x1000);
+        assert!(!tlb.access(PT, 0x1000));
+        assert!(tlb.access(PT, 0x2000));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the memory substrate.
+
+use proptest::prelude::*;
+use simmem::page::{page_align_down, page_align_up, page_offset, vpn};
+use simmem::{DomainTag, GlobalVas, Memory, PageFlags, PAGE_SIZE};
+
+proptest! {
+    #[test]
+    fn alignment_laws(addr in 0u64..u64::MAX / 2) {
+        let down = page_align_down(addr);
+        let up = page_align_up(addr);
+        prop_assert!(down <= addr);
+        prop_assert!(up >= addr);
+        prop_assert_eq!(down % PAGE_SIZE, 0);
+        prop_assert_eq!(up % PAGE_SIZE, 0);
+        prop_assert!(up - down < 2 * PAGE_SIZE);
+        prop_assert_eq!(vpn(addr) * PAGE_SIZE + page_offset(addr), addr);
+    }
+
+    #[test]
+    fn vas_allocations_never_overlap(
+        sizes in prop::collection::vec(1u64..1_000_000, 1..40),
+        owners in prop::collection::vec(1u64..4, 1..40),
+    ) {
+        let mut vas = GlobalVas::new();
+        let mut blocks = std::collections::HashMap::new();
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let owner = owners[i % owners.len()];
+            let block = *blocks
+                .entry(owner)
+                .or_insert_with(|| vas.reserve_block(owner).unwrap());
+            let addr = vas.suballoc(owner, block, *size).unwrap();
+            let end = addr + page_align_up(*size);
+            for (a, e) in &regions {
+                prop_assert!(end <= *a || addr >= *e, "overlap: [{addr:#x},{end:#x}) vs [{a:#x},{e:#x})");
+            }
+            regions.push((addr, end));
+        }
+    }
+
+    #[test]
+    fn memory_write_read_roundtrip(
+        offset in 0u64..(3 * PAGE_SIZE),
+        data in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut m = Memory::new();
+        m.map_anon(Memory::GLOBAL_PT, 0x10000, 4, PageFlags::RW, DomainTag(1));
+        let addr = 0x10000 + offset;
+        m.write(Memory::GLOBAL_PT, addr, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        m.read(Memory::GLOBAL_PT, addr, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn page_table_map_unmap_inverse(
+        pages in prop::collection::btree_set(0u64..64, 1..20),
+    ) {
+        let mut m = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        for &p in &pages {
+            m.map_anon(pt, p * PAGE_SIZE, 1, PageFlags::RW, DomainTag(2));
+        }
+        prop_assert_eq!(m.table(pt).mapped_pages(), pages.len());
+        for &p in &pages {
+            m.unmap(pt, p * PAGE_SIZE, 1);
+        }
+        prop_assert_eq!(m.table(pt).mapped_pages(), 0);
+        prop_assert_eq!(m.phys_mut().live_frames(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Device-driver isolation case study (§7.3, Figure 7).
+//!
+//! Models a user-level Infiniband-style NIC driver (the paper uses the
+//! `rsocket` library on a Mellanox MT26428) running a netpipe (NPtcp)
+//! ping-pong, and measures the latency and bandwidth overhead of isolating
+//! that driver behind different mechanisms:
+//!
+//! * [`DriverIso::None`] — the baseline: app and driver in one domain,
+//!   driver operations are plain function calls (direct device assignment,
+//!   SR-IOV style).
+//! * [`DriverIso::Dipc`] — driver in its own CODOMs domain, same process;
+//!   calls through dIPC proxies with an asymmetric (Low) policy.
+//! * [`DriverIso::DipcProc`] — driver in a separate dIPC process.
+//! * [`DriverIso::Kernel`] — a conventional kernel driver: every operation
+//!   pays the user/kernel boundary crossing.
+//! * [`DriverIso::Pipe`] / [`DriverIso::Sem`] — the driver in a separate
+//!   process reached by pipe / semaphore IPC per operation.
+//!
+//! Per §7.3, no variant adds payload copies ("without additional copies
+//! between the application, the driver and the NIC" — buffers are
+//! registered and DMA'd directly); only the *control transfer* to the
+//! driver differs. The wire + remote side is folded into a deterministic
+//! busy-poll delay inside the driver's receive path, exactly as an
+//! `rsocket` polling driver burns CPU until the completion entry appears.
+
+pub mod netpipe;
+pub mod nic;
+
+pub use netpipe::{netpipe_rtt, DriverIso, NetResult};
+pub use nic::WireModel;

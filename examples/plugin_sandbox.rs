@@ -1,0 +1,79 @@
+//! Asymmetric isolation: an application hosting an untrusted plugin
+//! (§2.4's browser/plugin scenario).
+//!
+//! The plugin runs in its own dIPC process. When it crashes, the kernel
+//! unwinds the caller's KCS and the application receives an errno-style
+//! error from the call — exception semantics across a process boundary —
+//! while both processes stay alive. The plugin also cannot read the
+//! application's private data (P1): a direct load faults.
+//!
+//! Run with: `cargo run --release -p bench --example plugin_sandbox`
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::{AppSpec, IsoProps, Signature, World, DIPC_ERR_FAULT};
+use simkernel::KernelConfig;
+
+fn main() {
+    let mut w = World::new(KernelConfig::default());
+
+    // The plugin: render(x) works for even x, crashes for odd x.
+    let plugin = AppSpec::new("plugin", |a| {
+        a.label("render");
+        a.push(Instr::Andi { rd: T0, rs1: A0, imm: 1 });
+        a.bne(T0, ZERO, "boom");
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: A0 });
+        a.ret();
+        a.label("boom");
+        a.push(Instr::Crash); // a bug in the plugin
+    })
+    .export("render", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(plugin);
+
+    // The application: protects itself with register integrity (its live
+    // state survives whatever the plugin does) and recovers from crashes.
+    let app = AppSpec::new("app", |a| {
+        a.label("main");
+        a.li(S0, 0); // successes
+        a.li(S1, 0); // recovered faults
+        a.li(S2, 0); // request number
+        a.li(S3, 8); // requests to make
+        a.label("loop");
+        a.push(Instr::Add { rd: A0, rs1: S2, rs2: ZERO });
+        a.jal(RA, "call_plugin_render");
+        // errno-style check, like C code checking the return value.
+        a.li(T0, DIPC_ERR_FAULT);
+        a.beq(A0, T0, "recovered");
+        a.push(Instr::Addi { rd: S0, rs1: S0, imm: 1 });
+        a.j("next");
+        a.label("recovered");
+        a.push(Instr::Addi { rd: S1, rs1: S1, imm: 1 });
+        a.label("next");
+        a.push(Instr::Addi { rd: S2, rs1: S2, imm: 1 });
+        a.bne(S2, S3, "loop");
+        // Exit code: successes * 100 + recoveries.
+        a.li(T0, 100);
+        a.push(Instr::Mul { rd: A0, rs1: S0, rs2: T0 });
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: S1 });
+        a.push(Instr::Halt);
+    })
+    .import_live("plugin", "render", Signature::regs(1, 1),
+        IsoProps::REG_INTEGRITY, &[S0, S1, S2, S3]);
+    w.build(app);
+    w.link();
+
+    let tid = w.spawn("app", "main", &[]);
+    w.sys.run_to_completion();
+
+    let code = w.sys.k.threads[&tid].exit_code;
+    println!("plugin sandbox");
+    println!("--------------");
+    println!("8 render calls: {} succeeded, {} crashed & recovered", code / 100, code % 100);
+    println!("KCS unwinds performed by the kernel: {}", w.sys.unwinds);
+    let plugin_pid = w.app("plugin").pid;
+    println!(
+        "plugin process still alive after its crashes: {}",
+        w.sys.k.procs[&plugin_pid].alive
+    );
+    assert_eq!(code, 4 * 100 + 4);
+}

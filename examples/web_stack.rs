@@ -1,0 +1,33 @@
+//! The paper's running example: a three-tier OLTP web stack (Figure 1 /
+//! §7.4) in all three configurations, at demo scale.
+//!
+//! Run with: `cargo run --release -p bench --example web_stack`
+
+use oltp::{dipc_stack, ideal_stack, linux_stack, OltpParams, StorageKind};
+
+fn main() {
+    println!("three-tier OLTP web stack (Apache <-> PHP <-> MariaDB)");
+    println!("------------------------------------------------------");
+    let conc = 16;
+    let p = OltpParams::with(conc, StorageKind::InMemory);
+    println!("in-memory DB, {conc} threads, 4 CPUs, {} queries/op\n", p.queries_per_op);
+    let rl = linux_stack::build(&p).run(20, 150, conc);
+    let rd = dipc_stack::build(&p).run(20, 150, conc);
+    let ri = ideal_stack::build(&p).run(20, 150, conc);
+    println!("{:<16} {:>12} {:>10} {:>22}", "configuration", "ops/min", "latency", "user/kernel/idle");
+    for (name, r) in [("Linux (sockets)", &rl), ("dIPC (proxies)", &rd), ("Ideal (unsafe)", &ri)] {
+        println!(
+            "{name:<16} {:>12.0} {:>8.2}ms {:>8.0}%/{:>3.0}%/{:>3.0}%",
+            r.ops_per_min,
+            r.avg_latency_ms,
+            r.user_frac * 100.0,
+            r.kernel_frac * 100.0,
+            r.idle_frac * 100.0
+        );
+    }
+    println!(
+        "\ndIPC speedup over Linux: {:.2}x;  efficiency vs Ideal: {:.1}%",
+        rd.ops_per_min / rl.ops_per_min,
+        100.0 * rd.ops_per_min / ri.ops_per_min
+    );
+}

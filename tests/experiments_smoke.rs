@@ -1,0 +1,122 @@
+//! Reduced-scale shape checks for every paper experiment: the orderings,
+//! crossovers and ratio bands each figure/table reports must hold.
+
+use baselines::*;
+use codoms::archcmp::{Arch, ArchCosts};
+use dipc::IsoProps;
+use oltp::{dipc_stack, ideal_stack, linux_stack, OltpParams, StorageKind};
+use simnet::{netpipe_rtt, DriverIso};
+
+/// Figure 1: forgoing isolation speeds the stack up by roughly the paper's
+/// 1.92x, with Linux showing kernel + idle time the Ideal config lacks.
+#[test]
+fn fig1_shape() {
+    let p = OltpParams::with(16, StorageKind::InMemory);
+    let rl = linux_stack::build(&p).run(20, 150, 16);
+    let ri = ideal_stack::build(&p).run(20, 150, 16);
+    let overhead = rl.avg_latency_ms / ri.avg_latency_ms;
+    assert!((1.3..4.0).contains(&overhead), "IPC overhead {overhead:.2}x (paper 1.92x)");
+    assert!(rl.kernel_frac > ri.kernel_frac);
+    assert!(rl.user_frac < 0.99 && ri.user_frac > 0.9);
+}
+
+/// Figure 2: primitive ordering and the =CPU vs !=CPU gap.
+#[test]
+fn fig2_shape() {
+    let sem_s = sem::bench_sem(150, Placement::SameCpu, 1);
+    let sem_x = sem::bench_sem(150, Placement::CrossCpu, 1);
+    let rpc_s = rpc::bench_rpc(100, Placement::SameCpu, 1);
+    assert!(sem_x.per_op_ns > sem_s.per_op_ns * 1.5, "cross-CPU pays IPIs");
+    assert!(rpc_s.per_op_ns > sem_s.per_op_ns * 2.0, "RPC is the heavyweight");
+    // Idle shows up only in the cross-CPU breakdown.
+    use simkernel::TimeCat;
+    assert_eq!(sem_s.breakdown.get(TimeCat::Idle), 0);
+    assert!(sem_x.breakdown.get(TimeCat::Idle) > 0);
+}
+
+/// Table 1: CODOMs has the cheapest switch; copies dominate conventional
+/// bulk data as size grows.
+#[test]
+fn tab1_shape() {
+    let c = ArchCosts::default();
+    for a in [Arch::Conventional, Arch::Cheri, Arch::Mmp] {
+        assert!(Arch::Codoms.switch_cost_ns(&c) < a.switch_cost_ns(&c));
+    }
+    assert!(
+        Arch::Conventional.total_ns(&c, 1 << 16) > 10.0 * Arch::Codoms.total_ns(&c, 1 << 16)
+    );
+}
+
+/// Figure 5: the full latency ordering.
+#[test]
+fn fig5_shape() {
+    let func = micro::bench_function_call(10_000, 0).per_op_ns;
+    let sysc = micro::bench_syscall(3_000).per_op_ns;
+    let dlow = dipcbench::bench_dipc(800, IsoProps::LOW, false, 0).per_op_ns;
+    let dphigh = dipcbench::bench_dipc(800, IsoProps::HIGH, true, 1).per_op_ns;
+    let l4 = l4::bench_l4(150, Placement::SameCpu).per_op_ns;
+    let sem = sem::bench_sem(150, Placement::SameCpu, 1).per_op_ns;
+    let rpc = rpc::bench_rpc(100, Placement::SameCpu, 1).per_op_ns;
+    assert!(func < 2.0);
+    assert!((25.0..60.0).contains(&sysc));
+    assert!(dlow < sysc);
+    assert!(dphigh < l4 && l4 < sem && sem < rpc);
+    let vs_rpc = rpc / dphigh;
+    let vs_l4 = l4 / dphigh;
+    assert!((25.0..130.0).contains(&vs_rpc), "{vs_rpc:.1}x vs paper 64.12x");
+    assert!((4.0..20.0).contains(&vs_l4), "{vs_l4:.1}x vs paper 8.87x");
+}
+
+/// Figure 6: copy-based primitives grow with argument size; dIPC stays flat.
+#[test]
+fn fig6_shape() {
+    let small = 64u64;
+    let big = 64 * 1024;
+    let base_s = micro::bench_function_call(2_000, small).per_op_ns;
+    let base_b = micro::bench_function_call(2_000, big).per_op_ns;
+    let pipe_s = pipe::bench_pipe(60, Placement::SameCpu, small).per_op_ns - base_s;
+    let pipe_b = pipe::bench_pipe(20, Placement::SameCpu, big).per_op_ns - base_b;
+    let dipc_s = dipcbench::bench_dipc(300, IsoProps::LOW, true, small).per_op_ns - base_s;
+    let dipc_b = dipcbench::bench_dipc(300, IsoProps::LOW, true, big).per_op_ns - base_b;
+    assert!(pipe_b > pipe_s * 3.0, "pipes copy: added cost grows ({pipe_s:.0} -> {pipe_b:.0})");
+    assert!(
+        dipc_b < dipc_s * 3.0 + 500.0,
+        "dIPC passes by reference: flat-ish ({dipc_s:.0} -> {dipc_b:.0})"
+    );
+    assert!(dipc_b < pipe_b / 10.0, "the distance grows with size");
+}
+
+/// Figure 7: isolation-overhead ordering for the driver.
+#[test]
+fn fig7_shape() {
+    let base = netpipe_rtt(DriverIso::None, 64, 30);
+    let d = netpipe_rtt(DriverIso::Dipc, 64, 30).latency_overhead_pct(&base);
+    let k = netpipe_rtt(DriverIso::Kernel, 64, 30).latency_overhead_pct(&base);
+    let p = netpipe_rtt(DriverIso::Pipe, 64, 30).latency_overhead_pct(&base);
+    assert!(d < 8.0 && d < k && k < 30.0 && p > 100.0);
+}
+
+/// Figure 8: who wins, and the >94%-of-Ideal efficiency claim.
+#[test]
+fn fig8_shape() {
+    for storage in [StorageKind::InMemory, StorageKind::Disk] {
+        let p = OltpParams::with(16, storage);
+        let rl = linux_stack::build(&p).run(20, 150, 16);
+        let rd = dipc_stack::build(&p).run(20, 150, 16);
+        let ri = ideal_stack::build(&p).run(20, 150, 16);
+        assert!(rd.ops_per_min > rl.ops_per_min, "dIPC beats Linux ({storage:?})");
+        assert!(
+            rd.ops_per_min > 0.94 * ri.ops_per_min,
+            "dIPC within 94% of Ideal ({storage:?}): {:.1}%",
+            100.0 * rd.ops_per_min / ri.ops_per_min
+        );
+    }
+}
+
+/// §7.2 ablation: asymmetric policies differ measurably.
+#[test]
+fn ablation_shape() {
+    let low = dipcbench::bench_dipc(500, IsoProps::LOW, false, 0).per_op_ns;
+    let high = dipcbench::bench_dipc(500, IsoProps::HIGH, false, 0).per_op_ns;
+    assert!(high / low > 2.0, "policy spread {:.2}x", high / low);
+}

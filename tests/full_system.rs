@@ -1,0 +1,163 @@
+//! Whole-system coexistence (§3.4 backwards compatibility): dIPC-enabled
+//! processes, regular processes, sockets, files and proxies in one run.
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::{AppSpec, IsoProps, Signature, World};
+use simkernel::object::Storage;
+use simkernel::{sysno, KernelConfig, ThreadState};
+
+#[test]
+fn dipc_and_legacy_processes_coexist() {
+    let mut w = World::new(KernelConfig::default());
+
+    // A dIPC pair: client calls server's `double` entry.
+    let srv = AppSpec::new("srv", |a| {
+        a.label("double");
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: A0 });
+        a.ret();
+    })
+    .export("double", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(srv);
+    let cli = AppSpec::new("cli", |a| {
+        a.label("main");
+        a.li(A0, 21);
+        a.jal(RA, "call_srv_double");
+        a.push(Instr::Halt);
+    })
+    .import("srv", "double", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(cli);
+    w.link();
+    let dipc_tid = w.spawn("cli", "main", &[]);
+
+    // A legacy pair on private page tables talking over a named socket,
+    // with a file read thrown in.
+    let sys = &mut w.sys;
+    let legacy_a = sys.k.create_process("legacy-a", false);
+    let legacy_b = sys.k.create_process("legacy-b", false);
+    sys.k.add_file("config", b"ok".to_vec(), Storage::Tmpfs);
+
+    let mut a = Asm::new();
+    // legacy-a: listen, accept, read one byte, echo it + 1.
+    a.li_sym(A0, "$name");
+    a.li(A1, 3);
+    a.li(A7, sysno::SOCK_LISTEN);
+    a.push(Instr::Ecall);
+    a.push(Instr::Add { rd: A0, rs1: A0, rs2: ZERO });
+    a.li(A7, sysno::SOCK_ACCEPT);
+    a.push(Instr::Ecall);
+    a.push(Instr::Add { rd: S0, rs1: A0, rs2: ZERO });
+    a.push(Instr::Addi { rd: SP, rs1: SP, imm: -8 });
+    a.push(Instr::Add { rd: A0, rs1: S0, rs2: ZERO });
+    a.push(Instr::Add { rd: A1, rs1: SP, rs2: ZERO });
+    a.li(A2, 1);
+    a.li(A7, sysno::READ);
+    a.push(Instr::Ecall);
+    a.push(Instr::Ldb { rd: T0, rs1: SP, imm: 0 });
+    a.push(Instr::Addi { rd: T0, rs1: T0, imm: 1 });
+    a.push(Instr::Stb { rs1: SP, rs2: T0, imm: 0 });
+    a.push(Instr::Add { rd: A0, rs1: S0, rs2: ZERO });
+    a.push(Instr::Add { rd: A1, rs1: SP, rs2: ZERO });
+    a.li(A2, 1);
+    a.li(A7, sysno::WRITE);
+    a.push(Instr::Ecall);
+    a.push(Instr::Halt);
+    let prog_a = a.finish();
+
+    let mut a = Asm::new();
+    // legacy-b: connect, send 41, read back, exit with the reply.
+    a.li_sym(A0, "$name");
+    a.li(A1, 3);
+    a.li(A7, sysno::SOCK_CONNECT);
+    a.push(Instr::Ecall);
+    a.push(Instr::Add { rd: S0, rs1: A0, rs2: ZERO });
+    a.push(Instr::Addi { rd: SP, rs1: SP, imm: -8 });
+    a.li(T0, 41);
+    a.push(Instr::Stb { rs1: SP, rs2: T0, imm: 0 });
+    a.push(Instr::Add { rd: A0, rs1: S0, rs2: ZERO });
+    a.push(Instr::Add { rd: A1, rs1: SP, rs2: ZERO });
+    a.li(A2, 1);
+    a.li(A7, sysno::WRITE);
+    a.push(Instr::Ecall);
+    a.push(Instr::Add { rd: A0, rs1: S0, rs2: ZERO });
+    a.push(Instr::Add { rd: A1, rs1: SP, rs2: ZERO });
+    a.li(A2, 1);
+    a.li(A7, sysno::READ);
+    a.push(Instr::Ecall);
+    a.push(Instr::Ldb { rd: A0, rs1: SP, imm: 0 });
+    a.push(Instr::Halt);
+    let prog_b = a.finish();
+
+    let mut tids = Vec::new();
+    for (pid, prog) in [(legacy_a, &prog_a), (legacy_b, &prog_b)] {
+        let name = sys.k.alloc_mem(pid, 4096, simmem::PageFlags::RW);
+        let pt = sys.k.procs[&pid].pt;
+        sys.k.mem.kwrite(pt, name, b"sck").unwrap();
+        let mut ex = std::collections::HashMap::new();
+        ex.insert("$name".to_string(), name);
+        let img = sys.k.load_program(pid, prog, &ex);
+        tids.push(sys.k.spawn_thread(pid, img.base, &[]));
+    }
+
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&dipc_tid].exit_code, 42, "dIPC call worked");
+    assert_eq!(w.sys.k.threads[&tids[1]].exit_code, 42, "legacy socket IPC worked");
+    for t in [dipc_tid, tids[0], tids[1]] {
+        assert!(matches!(w.sys.k.threads[&t].state, ThreadState::Dead));
+    }
+}
+
+#[test]
+fn many_processes_many_calls_stress() {
+    // A chain of five dIPC processes, each adding its index; plus repeated
+    // calls to exercise the tracking caches from several threads.
+    let mut w = World::new(KernelConfig::default());
+    for i in (1..5u64).rev() {
+        let name = format!("p{i}");
+        let next = format!("p{}", i + 1);
+        let has_next = i < 4;
+        let spec = AppSpec::new(&name, move |a| {
+            a.label("step");
+            a.push(Instr::Addi { rd: SP, rs1: SP, imm: -8 });
+            a.push(Instr::St { rs1: SP, rs2: RA, imm: 0 });
+            a.push(Instr::Addi { rd: A0, rs1: A0, imm: i as i32 });
+            if has_next {
+                a.jal(RA, &format!("call_p{}_step", i + 1));
+            }
+            a.push(Instr::Ld { rd: RA, rs1: SP, imm: 0 });
+            a.push(Instr::Addi { rd: SP, rs1: SP, imm: 8 });
+            a.ret();
+        })
+        .export("step", Signature::regs(1, 1), IsoProps::STACK_CONF);
+        let spec = if has_next {
+            spec.import(&next, "step", Signature::regs(1, 1), IsoProps::LOW)
+        } else {
+            spec
+        };
+        w.build(spec);
+    }
+    let driver = AppSpec::new("driver", |a| {
+        a.label("main");
+        a.li(S0, 50);
+        a.li(S1, 0);
+        a.label("loop");
+        a.li(A0, 0);
+        a.jal(RA, "call_p1_step");
+        a.push(Instr::Add { rd: S1, rs1: S1, rs2: A0 });
+        a.push(Instr::Addi { rd: S0, rs1: S0, imm: -1 });
+        a.bne(S0, ZERO, "loop");
+        a.push(Instr::Add { rd: A0, rs1: S1, rs2: ZERO });
+        a.push(Instr::Halt);
+    })
+    .import("p1", "step", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(driver);
+    w.link();
+    let t1 = w.spawn("driver", "main", &[]);
+    let t2 = w.spawn("driver", "main", &[]);
+    w.sys.run_to_completion();
+    // 1+2+3+4 = 10 per call, 50 calls.
+    assert_eq!(w.sys.k.threads[&t1].exit_code, 500);
+    assert_eq!(w.sys.k.threads[&t2].exit_code, 500);
+    // Each thread resolves each hop once: 2 threads x 4 hops.
+    assert_eq!(w.sys.cold_resolves, 8);
+}

@@ -1,0 +1,240 @@
+//! The dIPC security model (§5.1), properties P1-P5 as executable tests.
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, Instr};
+use dipc::{AppSpec, IsoProps, Signature, World, DIPC_ERR_FAULT};
+use simkernel::{KernelConfig, ThreadState};
+
+fn world() -> World {
+    World::new(KernelConfig { cpus: 1, ..KernelConfig::default() })
+}
+
+/// Builds a victim (exports `f`, holds a secret) and an attacker process.
+/// The attacker's extra code is supplied by the test.
+fn victim_attacker(attacker_body: impl Fn(&mut Asm, u64) + 'static) -> (World, u64) {
+    let mut w = world();
+    let victim = AppSpec::new("victim", |a| {
+        a.label("f");
+        a.li(A0, 1);
+        a.ret();
+    })
+    .export("f", Signature::regs(1, 1), IsoProps::LOW)
+    .data("secret", 4096);
+    w.build(victim);
+    let secret = w.app("victim").data["secret"];
+    w.sys.k.mem.kwrite_u64(simmem::Memory::GLOBAL_PT, secret, 0x5ec3e7).unwrap();
+    let attacker = AppSpec::new("attacker", move |a| {
+        a.label("main");
+        attacker_body(a, secret);
+        a.push(Instr::Halt);
+    })
+    .import("victim", "f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(attacker);
+    w.link();
+    (w, secret)
+}
+
+#[test]
+fn p1_no_access_without_grant() {
+    // Reading the victim's secret directly faults and kills the attacker.
+    let (mut w, secret) = victim_attacker(move |a, s| {
+        a.li(T0, s);
+        a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
+        let _ = secret_probe(s);
+    });
+    let tid = w.spawn("attacker", "main", &[]);
+    w.sys.run_to_completion();
+    assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
+    let apid = w.app("attacker").pid;
+    assert!(!w.sys.k.procs[&apid].alive, "P1 violation is fatal to the violator");
+    let vpid = w.app("victim").pid;
+    assert!(w.sys.k.procs[&vpid].alive, "the victim is unaffected");
+    let _ = secret;
+}
+
+fn secret_probe(_s: u64) {}
+
+#[test]
+fn p1_write_attempt_also_fails() {
+    let (mut w, _) = victim_attacker(move |a, s| {
+        a.li(T0, s);
+        a.li(T1, 0x41414141);
+        a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    });
+    let tid = w.spawn("attacker", "main", &[]);
+    w.sys.run_to_completion();
+    assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
+    // The secret is intact.
+    let secret = w.app("victim").data["secret"];
+    assert_eq!(
+        w.sys.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, secret).unwrap(),
+        0x5ec3e7
+    );
+}
+
+#[test]
+fn p2_calls_only_through_exported_entry_points() {
+    // Jumping into the middle of the proxy (past the entry checks) is
+    // denied by the CODOMs alignment rule: Call permission only enters at
+    // 64-byte-aligned addresses, and the proxy is one aligned unit.
+    let mut w = world();
+    let victim = AppSpec::new("victim", |a| {
+        a.label("f");
+        a.li(A0, 1);
+        a.ret();
+    })
+    .export("f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(victim);
+    let attacker = AppSpec::new("attacker", |a| {
+        a.label("main");
+        // Load the proxy address from the GOT, then jump 8 bytes past it,
+        // skipping the proxy's KCS bookkeeping.
+        a.li_sym(T6, "$got_0");
+        a.push(Instr::Ld { rd: T6, rs1: T6, imm: 0 });
+        a.push(Instr::Addi { rd: T6, rs1: T6, imm: 8 });
+        a.push(Instr::Jalr { rd: RA, rs1: T6, imm: 0 });
+        a.push(Instr::Halt);
+    })
+    .import("victim", "f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(attacker);
+    w.link();
+    let tid = w.spawn("attacker", "main", &[]);
+    w.sys.run_to_completion();
+    let apid = w.app("attacker").pid;
+    assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
+    assert!(!w.sys.k.procs[&apid].alive, "mid-proxy entry is denied");
+}
+
+#[test]
+fn p3_returns_come_back_to_the_caller() {
+    // A callee that ignores `ra` and tries to jump into arbitrary caller
+    // code faults: its APL has no grant toward the caller domain; only the
+    // proxy's return capability (c7) points back, and only at proxy_ret.
+    let mut w = world();
+    let evil = AppSpec::new("evil", |a| {
+        a.label("f");
+        // Try to jump to the caller's code (passed as a0) instead of
+        // returning.
+        a.push(Instr::Jalr { rd: ZERO, rs1: A0, imm: 0 });
+    })
+    .export("f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(evil);
+    let caller = AppSpec::new("caller", |a| {
+        a.label("main");
+        a.li_sym(A0, "main"); // leak our own code address to the callee
+        a.jal(RA, "call_evil_f");
+        a.push(Instr::Halt);
+    })
+    .import("evil", "f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(caller);
+    w.link();
+    let tid = w.spawn("caller", "main", &[]);
+    w.sys.run_to_completion();
+    // The jump is denied; the kernel unwinds the call and the caller gets
+    // an error instead of hijacked control flow.
+    assert_eq!(w.sys.k.threads[&tid].exit_code, DIPC_ERR_FAULT);
+    assert_eq!(w.sys.unwinds, 1);
+}
+
+#[test]
+fn p4_signature_agreement_is_mandatory() {
+    let mut w = world();
+    let srv = AppSpec::new("srv", |a| {
+        a.label("f");
+        a.ret();
+    })
+    .export("f", Signature::regs(2, 1), IsoProps::LOW);
+    w.build(srv);
+    let (srv_pid, eh) = {
+        let app = w.app("srv");
+        (app.pid, app.export_handles["f"])
+    };
+    let cli = w.sys.k.create_process("cli", true);
+    let eh2 = w.sys.pass_handle(srv_pid, cli, eh).unwrap();
+    let bad = dipc::EntryDesc {
+        address: 0,
+        signature: Signature { args: 2, rets: 1, stack_bytes: 64, cap_args: 0 },
+        policy: IsoProps::LOW,
+    };
+    assert_eq!(w.sys.entry_request(cli, eh2, vec![bad]).unwrap_err(), dipc::DipcError::Signature);
+}
+
+#[test]
+fn p5_callers_broken_stub_hurts_only_the_caller() {
+    // A caller that violates its own stub discipline (garbage stack
+    // pointer at the call) faults in the proxy's sp check and unwinds; the
+    // callee never runs and stays intact.
+    let mut w = world();
+    let srv = AppSpec::new("srv", |a| {
+        a.label("f");
+        a.li_sym(T0, "$data_ran");
+        a.li(T1, 1);
+        a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+        a.ret();
+    })
+    .export("f", Signature::regs(1, 1), IsoProps::LOW)
+    .data("ran", 64);
+    w.build(srv);
+    let cli = AppSpec::new("cli", |a| {
+        a.label("main");
+        // Sabotage our own stack pointer, then call through the proxy
+        // directly (bypassing the well-behaved shim).
+        a.li_sym(T6, "$got_0");
+        a.push(Instr::Ld { rd: T6, rs1: T6, imm: 0 });
+        a.li(SP, 3); // misaligned, invalid
+        a.push(Instr::Jalr { rd: RA, rs1: T6, imm: 0 });
+        a.push(Instr::Halt);
+    })
+    .import("srv", "f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(cli);
+    w.link();
+    let tid = w.spawn("cli", "main", &[]);
+    w.sys.run_to_completion();
+    // The caller died (no live KCS caller to unwind to), the callee never
+    // executed, and the callee process is untouched.
+    assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
+    let ran = w.app("srv").data["ran"];
+    assert_eq!(w.sys.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, ran).unwrap(), 0);
+    let spid = w.app("srv").pid;
+    assert!(w.sys.k.procs[&spid].alive);
+}
+
+#[test]
+fn erroneous_use_never_reaches_other_processes() {
+    // An unrelated bystander process keeps running while an attacker
+    // crashes against the isolation boundaries.
+    let mut w = world();
+    let bystander = AppSpec::new("bystander", |a| {
+        a.label("main");
+        a.li(S0, 200);
+        a.label("spin");
+        a.push(Instr::Work { rs1: 0, imm: 1000 });
+        a.push(Instr::Addi { rd: S0, rs1: S0, imm: -1 });
+        a.bne(S0, ZERO, "spin");
+        a.li(A0, 77);
+        a.push(Instr::Halt);
+    });
+    w.build(bystander);
+    let victim = AppSpec::new("victim", |a| {
+        a.label("f");
+        a.ret();
+    })
+    .export("f", Signature::regs(1, 1), IsoProps::LOW)
+    .data("secret", 64);
+    w.build(victim);
+    let secret = w.app("victim").data["secret"];
+    let attacker = AppSpec::new("attacker", move |a| {
+        a.label("main");
+        a.li(T0, secret);
+        a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
+        a.push(Instr::Halt);
+    })
+    .import("victim", "f", Signature::regs(1, 1), IsoProps::LOW);
+    w.build(attacker);
+    w.link();
+    let bt = w.spawn("bystander", "main", &[]);
+    let at = w.spawn("attacker", "main", &[]);
+    w.sys.run_to_completion();
+    assert_eq!(w.sys.k.threads[&bt].exit_code, 77, "bystander unaffected");
+    assert!(matches!(w.sys.k.threads[&at].state, ThreadState::Dead));
+}

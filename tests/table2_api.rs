@@ -1,0 +1,145 @@
+//! Table 2 exercised end to end: every dIPC core object and operation,
+//! success and failure paths.
+
+use dipc::{DipcError, EntryDesc, HandlePerm, IsoProps, Signature, System};
+use simkernel::{KernelConfig, Pid};
+use simmem::PageFlags;
+
+fn sys2() -> (System, Pid, Pid) {
+    let mut s = System::new(KernelConfig::default());
+    let a = s.k.create_process("a", true);
+    let b = s.k.create_process("b", true);
+    (s, a, b)
+}
+
+#[test]
+fn dom_default_returns_owner_handle() {
+    let (mut s, a, _) = sys2();
+    let h = s.dom_default(a);
+    // Owner may mmap.
+    let addr = s.dom_mmap(a, h, 8192, PageFlags::RW).unwrap();
+    assert!(addr > 0);
+}
+
+#[test]
+fn dom_create_is_isolated_by_default() {
+    let (mut s, a, _) = sys2();
+    let h = s.dom_create(a);
+    let tag = s.dom_tag(h).unwrap();
+    let own = s.k.procs[&a].default_domain;
+    assert_eq!(s.k.domains.perm(own, tag), codoms::Perm::Nil, "P1 default deny");
+}
+
+#[test]
+fn dom_copy_downgrades_never_upgrades() {
+    let (mut s, a, _) = sys2();
+    let owner = s.dom_create(a);
+    let read = s.dom_copy(a, owner, HandlePerm::Read).unwrap();
+    // Downgraded handle cannot mmap...
+    assert_eq!(s.dom_mmap(a, read, 4096, PageFlags::RW), Err(DipcError::Perm));
+    // ...and cannot be upgraded back.
+    assert_eq!(s.dom_copy(a, read, HandlePerm::Owner), Err(DipcError::Perm));
+    assert_eq!(s.dom_copy(a, read, HandlePerm::Write), Err(DipcError::Perm));
+    // Equal or lower is fine.
+    assert!(s.dom_copy(a, read, HandlePerm::Call).is_ok());
+}
+
+#[test]
+fn dom_mmap_tags_pages() {
+    let (mut s, a, _) = sys2();
+    let h = s.dom_create(a);
+    let tag = s.dom_tag(h).unwrap();
+    let addr = s.dom_mmap(a, h, 4096, PageFlags::RW).unwrap();
+    let pt = s.k.procs[&a].pt;
+    assert_eq!(s.k.mem.table(pt).lookup(addr).unwrap().tag, tag);
+}
+
+#[test]
+fn dom_remap_moves_pages_between_domains() {
+    let (mut s, a, _) = sys2();
+    let d1 = s.dom_create(a);
+    let d2 = s.dom_create(a);
+    let addr = s.dom_mmap(a, d1, 8192, PageFlags::RW).unwrap();
+    s.dom_remap(a, d2, d1, addr, 8192).unwrap();
+    let pt = s.k.procs[&a].pt;
+    assert_eq!(s.k.mem.table(pt).lookup(addr).unwrap().tag, s.dom_tag(d2).unwrap());
+    // Remapping pages that are not in the source domain fails.
+    assert_eq!(s.dom_remap(a, d1, d1, addr, 4096), Err(DipcError::BadEntryAddress));
+}
+
+#[test]
+fn grant_create_requires_owner_and_revoke_works() {
+    let (mut s, a, _) = sys2();
+    let own = s.dom_default(a);
+    let other = s.dom_create(a);
+    let read_handle = s.dom_copy(a, other, HandlePerm::Read).unwrap();
+    let g = s.grant_create(a, own, read_handle).unwrap();
+    let (src, dst) = (s.dom_tag(own).unwrap(), s.dom_tag(other).unwrap());
+    assert_eq!(s.k.domains.perm(src, dst), codoms::Perm::Read);
+    s.grant_revoke(a, g).unwrap();
+    assert_eq!(s.k.domains.perm(src, dst), codoms::Perm::Nil);
+    // Non-owner src fails.
+    let ro = s.dom_copy(a, own, HandlePerm::Read).unwrap();
+    assert_eq!(s.grant_create(a, ro, other), Err(DipcError::Perm));
+}
+
+#[test]
+fn owner_destination_grants_write() {
+    let (mut s, a, _) = sys2();
+    let own = s.dom_default(a);
+    let other = s.dom_create(a);
+    s.grant_create(a, own, other).unwrap();
+    let (src, dst) = (s.dom_tag(own).unwrap(), s.dom_tag(other).unwrap());
+    // §5.2.2: owner translates to CODOMs write.
+    assert_eq!(s.k.domains.perm(src, dst), codoms::Perm::Write);
+}
+
+#[test]
+fn entry_register_validates_addresses() {
+    let (mut s, a, _) = sys2();
+    let own = s.dom_default(a);
+    let outside = EntryDesc {
+        address: 0xdead_0000,
+        signature: Signature::regs(0, 0),
+        policy: IsoProps::LOW,
+    };
+    assert_eq!(s.entry_register(a, own, vec![outside]), Err(DipcError::BadEntryAddress));
+}
+
+#[test]
+fn entry_request_enforces_signatures_and_returns_call_handle() {
+    let (mut s, a, b) = sys2();
+    // Register a (dummy) entry in a's default domain.
+    let own = s.dom_default(a);
+    let code = s.k.load_code(a, &{
+        let mut asm = cdvm::Asm::new();
+        asm.push(cdvm::Instr::Halt);
+        asm.finish().bytes
+    });
+    let desc =
+        EntryDesc { address: code, signature: Signature::regs(2, 1), policy: IsoProps::LOW };
+    let e = s.entry_register(a, own, vec![desc]).unwrap();
+    let e_b = s.pass_handle(a, b, e).unwrap();
+    // Mismatched signature (P4).
+    let bad =
+        EntryDesc { address: 0, signature: Signature::regs(1, 1), policy: IsoProps::LOW };
+    assert_eq!(s.entry_request(b, e_b, vec![bad]).unwrap_err(), DipcError::Signature);
+    // Matching request: get a Call-permission proxy-domain handle.
+    let good = EntryDesc { address: 0, signature: Signature::regs(2, 1), policy: IsoProps::LOW };
+    let (dom_h, addrs) = s.entry_request(b, e_b, vec![good]).unwrap();
+    assert_eq!(addrs.len(), 1);
+    assert_eq!(addrs[0] % 64, 0, "proxy entries are call-gate aligned");
+    // Call permission cannot mmap.
+    assert_eq!(s.dom_mmap(b, dom_h, 4096, PageFlags::RW), Err(DipcError::Perm));
+}
+
+#[test]
+fn handles_are_process_private() {
+    let (mut s, a, b) = sys2();
+    let h = s.dom_create(a);
+    // Process b cannot use a's handle (P1: explicit communication only).
+    assert_eq!(s.dom_mmap(b, h, 4096, PageFlags::RW), Err(DipcError::BadHandle));
+    // After passing it, b can.
+    let hb = s.pass_handle(a, b, h).unwrap();
+    assert!(s.dom_mmap(b, hb, 4096, PageFlags::RW).is_ok());
+}
