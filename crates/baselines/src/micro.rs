@@ -110,11 +110,7 @@ mod tests {
     #[test]
     fn syscall_is_about_34ns() {
         let r = bench_syscall(5_000);
-        assert!(
-            (25.0..90.0).contains(&r.per_op_ns),
-            "syscall {} ns (paper: ~34 ns)",
-            r.per_op_ns
-        );
+        assert!((25.0..90.0).contains(&r.per_op_ns), "syscall {} ns (paper: ~34 ns)", r.per_op_ns);
     }
 
     #[test]

@@ -68,7 +68,37 @@ pub fn run_marked(
     // delta instead of the requested one.
     let c0 = sys.k.now_max();
     let b0 = sys.k.breakdown();
-    sys.run_until(|s| read(s) >= n0 + iters);
+    // Request-lifecycle tracing: watch the iteration counter from inside
+    // the run predicate (a passive read, zero simulated cost) and turn
+    // each observed batch of completed operations into a span on the
+    // request track plus latency-histogram samples.
+    let traced = simtrace::enabled();
+    let mut last = n0;
+    let mut last_ts = c0;
+    sys.run_until(|s| {
+        if traced {
+            let v = read(s);
+            if v != last && v != u64::MAX {
+                let now = s.k.now_max();
+                let done = v - last;
+                let per = (now - last_ts) / done.max(1);
+                for _ in 0..done {
+                    simtrace::hist("request_latency_cycles", per);
+                }
+                simtrace::counter("bench_ops", done);
+                simtrace::begin_span(
+                    simtrace::Track::Request(0),
+                    last_ts,
+                    format!("op#{v}"),
+                    "request",
+                );
+                simtrace::end_span(simtrace::Track::Request(0), now);
+                last = v;
+                last_ts = now;
+            }
+        }
+        read(s) >= n0 + iters
+    });
     let n1 = read(sys);
     assert!(n1 > n0, "workload finished before measurement completed");
     let c1 = sys.k.now_max();
@@ -89,11 +119,7 @@ pub fn map_shared(sys: &mut System, pids: &[Pid], pages: u64) -> u64 {
     // Pick an address free in *every* process's private layout and reserve
     // it everywhere (advance each heap cursor past the region), then alias
     // the same frames at that address in each table.
-    let base = pids
-        .iter()
-        .map(|p| sys.k.procs[p].heap_next)
-        .max()
-        .expect("at least one process");
+    let base = pids.iter().map(|p| sys.k.procs[p].heap_next).max().expect("at least one process");
     for pid in pids {
         let (pt, tag) = {
             let p = sys.k.procs.get_mut(pid).expect("process exists");

@@ -20,18 +20,26 @@ fn figure5_shape_and_headlines() {
     let urpc = dipcbench::bench_dipc_user_rpc(300, 64);
 
     eprintln!("func      {:10.2} ns", func.per_op_ns);
-    eprintln!("syscall   {:10.2} ns ({:6.1}x)", sysc.per_op_ns, sysc.per_op_ns/func.per_op_ns);
-    eprintln!("dipc low  {:10.2} ns ({:6.1}x)", dlow.per_op_ns, dlow.per_op_ns/func.per_op_ns);
-    eprintln!("dipc high {:10.2} ns ({:6.1}x)", dhigh.per_op_ns, dhigh.per_op_ns/func.per_op_ns);
-    eprintln!("dipc+p lo {:10.2} ns ({:6.1}x)", dplow.per_op_ns, dplow.per_op_ns/func.per_op_ns);
-    eprintln!("dipc+p hi {:10.2} ns ({:6.1}x)", dphigh.per_op_ns, dphigh.per_op_ns/func.per_op_ns);
-    eprintln!("sem  =    {:10.2} ns ({:6.1}x)", sem_s.per_op_ns, sem_s.per_op_ns/func.per_op_ns);
-    eprintln!("sem  !=   {:10.2} ns ({:6.1}x)", sem_x.per_op_ns, sem_x.per_op_ns/func.per_op_ns);
-    eprintln!("pipe =    {:10.2} ns ({:6.1}x)", pipe_s.per_op_ns, pipe_s.per_op_ns/func.per_op_ns);
-    eprintln!("l4   =    {:10.2} ns ({:6.1}x)", l4_s.per_op_ns, l4_s.per_op_ns/func.per_op_ns);
-    eprintln!("rpc  =    {:10.2} ns ({:6.1}x)", rpc_s.per_op_ns, rpc_s.per_op_ns/func.per_op_ns);
-    eprintln!("rpc  !=   {:10.2} ns ({:6.1}x)", rpc_x.per_op_ns, rpc_x.per_op_ns/func.per_op_ns);
-    eprintln!("userrpc   {:10.2} ns ({:6.1}x)", urpc.per_op_ns, urpc.per_op_ns/func.per_op_ns);
+    eprintln!("syscall   {:10.2} ns ({:6.1}x)", sysc.per_op_ns, sysc.per_op_ns / func.per_op_ns);
+    eprintln!("dipc low  {:10.2} ns ({:6.1}x)", dlow.per_op_ns, dlow.per_op_ns / func.per_op_ns);
+    eprintln!("dipc high {:10.2} ns ({:6.1}x)", dhigh.per_op_ns, dhigh.per_op_ns / func.per_op_ns);
+    eprintln!("dipc+p lo {:10.2} ns ({:6.1}x)", dplow.per_op_ns, dplow.per_op_ns / func.per_op_ns);
+    eprintln!(
+        "dipc+p hi {:10.2} ns ({:6.1}x)",
+        dphigh.per_op_ns,
+        dphigh.per_op_ns / func.per_op_ns
+    );
+    eprintln!("sem  =    {:10.2} ns ({:6.1}x)", sem_s.per_op_ns, sem_s.per_op_ns / func.per_op_ns);
+    eprintln!("sem  !=   {:10.2} ns ({:6.1}x)", sem_x.per_op_ns, sem_x.per_op_ns / func.per_op_ns);
+    eprintln!(
+        "pipe =    {:10.2} ns ({:6.1}x)",
+        pipe_s.per_op_ns,
+        pipe_s.per_op_ns / func.per_op_ns
+    );
+    eprintln!("l4   =    {:10.2} ns ({:6.1}x)", l4_s.per_op_ns, l4_s.per_op_ns / func.per_op_ns);
+    eprintln!("rpc  =    {:10.2} ns ({:6.1}x)", rpc_s.per_op_ns, rpc_s.per_op_ns / func.per_op_ns);
+    eprintln!("rpc  !=   {:10.2} ns ({:6.1}x)", rpc_x.per_op_ns, rpc_x.per_op_ns / func.per_op_ns);
+    eprintln!("userrpc   {:10.2} ns ({:6.1}x)", urpc.per_op_ns, urpc.per_op_ns / func.per_op_ns);
     eprintln!("HEADLINE dIPC vs RPC: {:.2}x (paper 64.12x)", rpc_s.per_op_ns / dphigh.per_op_ns);
     eprintln!("HEADLINE dIPC vs L4 : {:.2}x (paper 8.87x)", l4_s.per_op_ns / dphigh.per_op_ns);
 

@@ -17,9 +17,7 @@ fn bench_oltp(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(1));
-    for (name, storage) in
-        [("in_memory", StorageKind::InMemory), ("on_disk", StorageKind::Disk)]
-    {
+    for (name, storage) in [("in_memory", StorageKind::InMemory), ("on_disk", StorageKind::Disk)] {
         let p = OltpParams::with(16, storage);
         g.bench_function(format!("linux_{name}"), |b| {
             b.iter_custom(|n| op_latency(linux_stack::build, &p).mul_f64(n as f64))

@@ -51,4 +51,5 @@ fn main() {
         r.per_op_ns
     );
     println!("large part of the time')");
+    bench::finish();
 }

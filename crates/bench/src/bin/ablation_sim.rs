@@ -46,4 +46,5 @@ fn main() {
     println!(" the test suite: WakePolicy::{{Local,Spread}} changes Linux's");
     println!(" low-concurrency idle share, and sync_window bounds cross-CPU");
     println!(" causality error; see crates/simkernel tests and DESIGN.md §7.)");
+    bench::finish();
 }

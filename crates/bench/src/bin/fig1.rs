@@ -26,4 +26,5 @@ fn main() {
         "\nIPC overhead (latency ratio Linux/Ideal): {:.2}x   (paper: 1.92x)",
         rl.avg_latency_ms / ri.avg_latency_ms
     );
+    bench::finish();
 }

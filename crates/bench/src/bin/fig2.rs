@@ -16,11 +16,8 @@ fn main() {
         ("Local RPC (=CPU)", rpc::bench_rpc(300 * s, Placement::SameCpu, 1)),
         ("Local RPC (!=CPU)", rpc::bench_rpc(300 * s, Placement::CrossCpu, 1)),
     ] {
-        println!(
-            "{name:<18} {:>8.0}ns  {}",
-            r.per_op_ns,
-            bench::breakdown_row(&r.breakdown)
-        );
+        println!("{name:<18} {:>8.0}ns  {}", r.per_op_ns, bench::breakdown_row(&r.breakdown));
     }
     println!("\npaper: ~80% of a bare process switch is software; RPC(!=CPU) ~7345ns.");
+    bench::finish();
 }

@@ -58,4 +58,5 @@ fn main() {
         "           RPC vs dIPC+proc(Low):              {:.2}x  (paper: 120.67x)",
         rpc_s.per_op_ns / dplow.per_op_ns
     );
+    bench::finish();
 }

@@ -29,4 +29,5 @@ fn main() {
     println!("\npaper: the copy-based primitives (Pipe, RPC) grow with size; dIPC");
     println!("passes references through capabilities and stays flat ('distance");
     println!("grows with size').");
+    bench::finish();
 }

@@ -42,4 +42,5 @@ fn main() {
     }
     println!("\npaper: only dIPC sustains ~1% latency overhead; a kernel driver");
     println!("costs ~10%; pipe/semaphore IPC cost >100% at small sizes.");
+    bench::finish();
 }

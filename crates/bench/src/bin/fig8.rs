@@ -39,4 +39,5 @@ fn main() {
         }
         println!();
     }
+    bench::finish();
 }

@@ -18,4 +18,5 @@ fn main() {
         l4_s.per_op_ns / dphigh.per_op_ns
     );
     println!("(OLTP speedups: run `cargo run --release -p bench --bin fig8`)");
+    bench::finish();
 }

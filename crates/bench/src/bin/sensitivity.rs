@@ -33,9 +33,7 @@ fn main() {
     println!("cross-domain calls per op:    {calls_per_op}   (paper: 211)");
     println!("measured call round trip:     {call_ns:.0} ns");
     println!("call share of operation time: {:.2}%", call_share * 100.0);
-    println!(
-        "calls could be ~{tolerable:.0}x slower before voiding the benefit (paper: 14x)"
-    );
+    println!("calls could be ~{tolerable:.0}x slower before voiding the benefit (paper: 14x)");
 
     // Capability-load worst case: assume ~2% of memory accesses are
     // cross-domain and each pays one extra capability load from memory
@@ -49,4 +47,5 @@ fn main() {
         overhead * 100.0
     );
     println!("over Linux (paper: 12% overhead, retaining 1.59x)");
+    bench::finish();
 }

@@ -25,4 +25,5 @@ fn main() {
         println!(" (ns)");
     }
     println!("\npaper: CODOMs switches with call+return; capabilities avoid copies.");
+    bench::finish();
 }

@@ -10,8 +10,15 @@
 use cdvm::MachineConfig;
 use simkernel::{TimeBreakdown, TimeCat};
 
-/// Prints the standard harness header.
+/// Prints the standard harness header, and arms the tracer when the
+/// `DIPC_TRACE=<path>` env var is set (every figure/table binary calls
+/// this, so all of them gain tracing for free). Pair with [`finish`].
 pub fn banner(title: &str) {
+    if let Ok(path) = std::env::var("DIPC_TRACE") {
+        if !path.is_empty() {
+            simtrace::enable(&path);
+        }
+    }
     let m = MachineConfig::default();
     println!("================================================================");
     println!("{title}");
@@ -19,10 +26,32 @@ pub fn banner(title: &str) {
     println!("================================================================");
 }
 
+/// Flushes the trace armed by [`banner`] (no-op when `DIPC_TRACE` is
+/// unset). Prints the files written so the run is self-describing.
+pub fn finish() {
+    match simtrace::flush() {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("trace written: {p}");
+            }
+        }
+        Err(e) => eprintln!("warning: failed to write trace: {e}"),
+    }
+}
+
 /// Measurement scale factor from the `BENCH_SCALE` env var (1 = quick
 /// default; larger = longer, steadier runs).
 pub fn scale() -> u64 {
-    std::env::var("BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+    match std::env::var("BENCH_SCALE") {
+        Ok(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: ignoring unparsable BENCH_SCALE={s:?}; using 1");
+                1
+            }
+        },
+        Err(_) => 1,
+    }
 }
 
 /// Formats a Figure 2-style breakdown as percentages.

@@ -227,6 +227,10 @@ impl Cpu {
                 Ok(_) => {
                     self.cur_dom = pte.tag;
                     self.domain_crossings += 1;
+                    if simtrace::enabled() {
+                        simtrace::counter("apl_hit", 1);
+                        simtrace::domain_crossing(self.index, pc, self.cycles);
+                    }
                 }
                 Err(CheckError::AplMiss { tag }) => return StepEvent::AplMiss(tag),
                 Err(e) => return self.fault(FaultKind::Codoms(e)),
@@ -312,9 +316,7 @@ impl Cpu {
             Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
             Sll { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 63)),
             Srl { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 63)),
-            Sltu { rd, rs1, rs2 } => {
-                self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u64)
-            }
+            Sltu { rd, rs1, rs2 } => self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u64),
             Addi { rd, rs1, imm } => {
                 self.set_reg(rd, self.reg(rs1).wrapping_add(imm as i64 as u64))
             }
@@ -336,9 +338,7 @@ impl Cpu {
             St { rs1, rs2, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
                 match self.data_access(mem, rev, cost, addr, 8, true) {
-                    Ok(()) => {
-                        mem.kwrite_u64(self.active_pt, addr, self.reg(rs2)).expect("checked")
-                    }
+                    Ok(()) => mem.kwrite_u64(self.active_pt, addr, self.reg(rs2)).expect("checked"),
                     Err(ev) => return ev,
                 }
             }
@@ -377,6 +377,7 @@ impl Cpu {
                     mem.kread(self.active_pt, src, &mut buf).expect("checked");
                     mem.kwrite(self.active_pt, dst, &buf).expect("checked");
                     self.cycles += cost.copy_cycles(len);
+                    simtrace::counter("bytes_copied_user", len);
                 }
             }
             MemSet { rd, rs1, rs2 } => {
@@ -432,8 +433,7 @@ impl Cpu {
                 return StepEvent::Halt;
             }
             Work { rs1, imm } => {
-                let amount =
-                    if rs1 != 0 { self.reg(rs1) } else { (imm.max(0)) as u64 };
+                let amount = if rs1 != 0 { self.reg(rs1) } else { (imm.max(0)) as u64 };
                 self.cycles += amount;
             }
             Crash => return self.fault(FaultKind::Crash),
@@ -488,9 +488,7 @@ impl Cpu {
                 let base = self.reg(rs1);
                 let len = self.reg(rs2);
                 let slot = (crd & 7) as usize;
-                let narrowed = self.caps[slot]
-                    .as_ref()
-                    .and_then(|c| c.restrict(base, len, c.perm));
+                let narrowed = self.caps[slot].as_ref().and_then(|c| c.restrict(base, len, c.perm));
                 match narrowed {
                     Some(c) => self.caps[slot] = Some(c),
                     None => return self.fault(FaultKind::CapInvalid),
@@ -505,9 +503,8 @@ impl Cpu {
                     2 => Perm::Read,
                     _ => Perm::Write,
                 };
-                let narrowed = self.caps[slot]
-                    .as_ref()
-                    .and_then(|c| c.restrict(c.base, c.len, perm));
+                let narrowed =
+                    self.caps[slot].as_ref().and_then(|c| c.restrict(c.base, c.len, perm));
                 match narrowed {
                     Some(c) => self.caps[slot] = Some(c),
                     None => return self.fault(FaultKind::CapInvalid),
@@ -515,6 +512,15 @@ impl Cpu {
             }
             CapPush { crs } => {
                 self.cycles += cost.cap_op + cost.mem;
+                if simtrace::enabled() {
+                    simtrace::counter("kcs_pushes", 1);
+                    simtrace::instant(
+                        simtrace::Track::Cpu(self.index),
+                        self.cycles,
+                        "kcs_push",
+                        "kcs",
+                    );
+                }
                 // An empty register pushes the null capability (all-zero
                 // encoding); this lets trusted code spill/refill a register
                 // unconditionally (dIPC proxies preserve the return
@@ -540,6 +546,15 @@ impl Cpu {
             }
             CapPop { crd } => {
                 self.cycles += cost.cap_op + cost.mem;
+                if simtrace::enabled() {
+                    simtrace::counter("kcs_pops", 1);
+                    simtrace::instant(
+                        simtrace::Track::Cpu(self.index),
+                        self.cycles,
+                        "kcs_pop",
+                        "kcs",
+                    );
+                }
                 let slot_addr = match self.dcs.pop_slot() {
                     Ok(a) => a,
                     Err(e) => return self.fault(FaultKind::Dcs(e)),
@@ -547,8 +562,7 @@ impl Cpu {
                 let mut b = [0u8; CAPABILITY_BYTES];
                 if mem.kread(self.active_pt, slot_addr, &mut b).is_err() {
                     self.dcs.push_slot().expect("just popped");
-                    return self
-                        .fault(FaultKind::Mem(MemFault::Unmapped { addr: slot_addr }));
+                    return self.fault(FaultKind::Mem(MemFault::Unmapped { addr: slot_addr }));
                 }
                 match Capability::from_bytes(&b) {
                     Some(c) if c.perm == Perm::Nil => self.caps[(crd & 7) as usize] = None,

@@ -35,16 +35,39 @@ impl InstrClass {
         match i {
             Ld { .. } | St { .. } | Ldb { .. } | Stb { .. } => InstrClass::Mem,
             MemCpy { .. } | MemSet { .. } => InstrClass::Bulk,
-            Jal { .. } | Jalr { .. } | Beq { .. } | Bne { .. } | Bltu { .. }
-            | Bgeu { .. } => InstrClass::Control,
-            CapAplTake { .. } | CapSetBounds { .. } | CapSetPerm { .. } | CapPush { .. }
-            | CapPop { .. } | CapLd { .. } | CapSt { .. } | CapClear { .. }
-            | CapMov { .. } | CapRevoke | DcsGetBase { .. } | DcsSetBase { .. }
-            | DcsGetTop { .. } | DcsSetTop { .. } | DcsSetWindow { .. }
-            | DcsGetStart { .. } | DcsGetLimit { .. } => InstrClass::Cap,
-            Ecall | Halt | Work { .. } | Crash | Swapgs | Rdgs { .. } | Wrgs { .. }
-            | Wrfsbase { .. } | PtSwitch { .. } | Sysret { .. } | TagLookup { .. }
-            | Rdcycle { .. } | CpuId { .. } => InstrClass::System,
+            Jal { .. } | Jalr { .. } | Beq { .. } | Bne { .. } | Bltu { .. } | Bgeu { .. } => {
+                InstrClass::Control
+            }
+            CapAplTake { .. }
+            | CapSetBounds { .. }
+            | CapSetPerm { .. }
+            | CapPush { .. }
+            | CapPop { .. }
+            | CapLd { .. }
+            | CapSt { .. }
+            | CapClear { .. }
+            | CapMov { .. }
+            | CapRevoke
+            | DcsGetBase { .. }
+            | DcsSetBase { .. }
+            | DcsGetTop { .. }
+            | DcsSetTop { .. }
+            | DcsSetWindow { .. }
+            | DcsGetStart { .. }
+            | DcsGetLimit { .. } => InstrClass::Cap,
+            Ecall
+            | Halt
+            | Work { .. }
+            | Crash
+            | Swapgs
+            | Rdgs { .. }
+            | Wrgs { .. }
+            | Wrfsbase { .. }
+            | PtSwitch { .. }
+            | Sysret { .. }
+            | TagLookup { .. }
+            | Rdcycle { .. }
+            | CpuId { .. } => InstrClass::System,
             _ => InstrClass::Alu,
         }
     }

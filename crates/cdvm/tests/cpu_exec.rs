@@ -63,7 +63,7 @@ fn arithmetic_and_halt() {
 #[test]
 fn loads_stores_and_stack() {
     let mut a = Asm::new();
-    a.li(T0, DATA as u64);
+    a.li(T0, DATA);
     a.li(T1, 0x1234);
     a.push(Instr::St { rs1: T0, rs2: T1, imm: 16 });
     a.push(Instr::Ld { rd: A0, rs1: T0, imm: 16 });
@@ -388,9 +388,7 @@ fn privileged_instr_requires_priv_page() {
     }
     // On a PRIV_CAP page: allowed.
     let mut env = Env::new(&bytes);
-    env.mem
-        .table_mut(Memory::GLOBAL_PT)
-        .protect(CODE, PageFlags::RX | PageFlags::PRIV_CAP);
+    env.mem.table_mut(Memory::GLOBAL_PT).protect(CODE, PageFlags::RX | PageFlags::PRIV_CAP);
     assert_eq!(env.run(), StepEvent::Halt);
 }
 
@@ -403,9 +401,7 @@ fn taglookup_returns_hw_tag() {
     a.push(Instr::TagLookup { rd: A1, rs1: T0 });
     a.push(Instr::Halt);
     let mut env = Env::new(&a.finish().bytes);
-    env.mem
-        .table_mut(Memory::GLOBAL_PT)
-        .protect(CODE, PageFlags::RX | PageFlags::PRIV_CAP);
+    env.mem.table_mut(Memory::GLOBAL_PT).protect(CODE, PageFlags::RX | PageFlags::PRIV_CAP);
     env.cpu.apl_cache.fill(DomainTag(1), Apl::new());
     assert_eq!(env.run(), StepEvent::Halt);
     assert_eq!(env.cpu.reg(A0), 0, "tag 1 is in slot 0");
@@ -467,9 +463,7 @@ fn sequential_fallthrough_into_other_domain_checked() {
     let bytes = a.finish().bytes;
     let mut env = Env::new(&bytes[..PAGE_SIZE as usize]);
     env.mem.table_mut(Memory::GLOBAL_PT).set_tag(CODE + PAGE_SIZE, DomainTag(2));
-    env.mem
-        .kwrite(Memory::GLOBAL_PT, CODE + PAGE_SIZE, &bytes[PAGE_SIZE as usize..])
-        .unwrap();
+    env.mem.kwrite(Memory::GLOBAL_PT, CODE + PAGE_SIZE, &bytes[PAGE_SIZE as usize..]).unwrap();
     env.cpu.apl_cache.fill(DomainTag(1), Apl::new());
     match env.run() {
         StepEvent::Fault(f) => {

@@ -122,8 +122,7 @@ impl Arch {
             Arch::Cheri | Arch::Codoms => c.cap_setup_ns,
             Arch::Mmp => {
                 let copy = bytes as f64 * c.copy_ns_per_byte;
-                let remap = 2.0 * c.mmp_prot_entry_ns
-                    * ((bytes as f64 / 4096.0).ceil()).max(1.0);
+                let remap = 2.0 * c.mmp_prot_entry_ns * ((bytes as f64 / 4096.0).ceil()).max(1.0);
                 copy.min(remap)
             }
         }
@@ -154,11 +153,7 @@ mod tests {
         let c = ArchCosts::default();
         let codoms = Arch::Codoms.switch_cost_ns(&c);
         for a in [Arch::Conventional, Arch::Cheri, Arch::Mmp] {
-            assert!(
-                codoms < a.switch_cost_ns(&c),
-                "CODOMs must beat {} on switch cost",
-                a.name()
-            );
+            assert!(codoms < a.switch_cost_ns(&c), "CODOMs must beat {} on switch cost", a.name());
         }
     }
 
@@ -177,8 +172,7 @@ mod tests {
         assert!(Arch::Codoms.data_cost_ns(&c, bytes) < Arch::Conventional.data_cost_ns(&c, bytes));
         // And the gap grows with size.
         let small_gap = Arch::Conventional.total_ns(&c, 64) - Arch::Codoms.total_ns(&c, 64);
-        let big_gap =
-            Arch::Conventional.total_ns(&c, bytes) - Arch::Codoms.total_ns(&c, bytes);
+        let big_gap = Arch::Conventional.total_ns(&c, bytes) - Arch::Codoms.total_ns(&c, bytes);
         assert!(big_gap > small_gap);
     }
 

@@ -153,9 +153,7 @@ impl Checker {
                     // Misaligned with only Call permission: maybe a
                     // capability still allows it; otherwise report the
                     // alignment violation specifically.
-                    if let Some(i) =
-                        Self::cap_jump_match(self, caps, rev, thread, target_addr)
-                    {
+                    if let Some(i) = Self::cap_jump_match(self, caps, rev, thread, target_addr) {
                         return Ok(AccessDecision::Cap(i));
                     }
                     return Err(CheckError::BadEntryAlign { addr: target_addr });
@@ -183,9 +181,7 @@ impl Checker {
         needed: Perm,
     ) -> Option<usize> {
         caps.iter().enumerate().find_map(|(i, c)| match c {
-            Some(c)
-                if c.perm >= needed && c.covers(addr, size) && rev.is_valid(c, thread) =>
-            {
+            Some(c) if c.perm >= needed && c.covers(addr, size) && rev.is_valid(c, thread) => {
                 Some(i)
             }
             _ => None,
@@ -241,8 +237,17 @@ mod tests {
         let ck = Checker::default();
         let mut cache = AplCache::new();
         let d = ck
-            .check_data(DomainTag(5), &pte(5), 0x100, 8, true, &mut cache, &no_caps(),
-                &RevocationTable::new(), 1)
+            .check_data(
+                DomainTag(5),
+                &pte(5),
+                0x100,
+                8,
+                true,
+                &mut cache,
+                &no_caps(),
+                &RevocationTable::new(),
+                1,
+            )
             .unwrap();
         assert_eq!(d, AccessDecision::SelfDomain);
     }
@@ -266,8 +271,17 @@ mod tests {
         let ck = Checker::default();
         let mut cache = AplCache::new();
         let err = ck
-            .check_data(DomainTag(1), &pte(2), 0, 8, false, &mut cache, &no_caps(),
-                &RevocationTable::new(), 1)
+            .check_data(
+                DomainTag(1),
+                &pte(2),
+                0,
+                8,
+                false,
+                &mut cache,
+                &no_caps(),
+                &RevocationTable::new(),
+                1,
+            )
             .unwrap_err();
         assert_eq!(err, CheckError::AplMiss { tag: DomainTag(1) });
     }
@@ -287,8 +301,17 @@ mod tests {
             origin: DomainTag(2),
         });
         let d = ck
-            .check_data(DomainTag(1), &pte(2), 0x1008, 8, true, &mut cache, &caps,
-                &RevocationTable::new(), 1)
+            .check_data(
+                DomainTag(1),
+                &pte(2),
+                0x1008,
+                8,
+                true,
+                &mut cache,
+                &caps,
+                &RevocationTable::new(),
+                1,
+            )
             .unwrap();
         assert_eq!(d, AccessDecision::Cap(3));
     }
@@ -334,8 +357,15 @@ mod tests {
         let ck = Checker::default();
         let mut cache = cache_with(1, 2, Perm::Read);
         assert!(ck
-            .check_jump(DomainTag(1), &pte(2), 0x1009, &mut cache, &no_caps(),
-                &RevocationTable::new(), 1)
+            .check_jump(
+                DomainTag(1),
+                &pte(2),
+                0x1009,
+                &mut cache,
+                &no_caps(),
+                &RevocationTable::new(),
+                1
+            )
             .is_ok());
     }
 
@@ -354,8 +384,15 @@ mod tests {
             origin: DomainTag(3),
         });
         let d = ck
-            .check_jump(DomainTag(2), &pte(3), 0x5004, &mut cache, &caps,
-                &RevocationTable::new(), 1)
+            .check_jump(
+                DomainTag(2),
+                &pte(3),
+                0x5004,
+                &mut cache,
+                &caps,
+                &RevocationTable::new(),
+                1,
+            )
             .unwrap();
         assert_eq!(d, AccessDecision::Cap(7));
     }
@@ -365,8 +402,15 @@ mod tests {
         let ck = Checker::default();
         let mut cache = AplCache::new();
         assert!(ck
-            .check_jump(DomainTag(4), &pte(4), 0x123, &mut cache, &no_caps(),
-                &RevocationTable::new(), 1)
+            .check_jump(
+                DomainTag(4),
+                &pte(4),
+                0x123,
+                &mut cache,
+                &no_caps(),
+                &RevocationTable::new(),
+                1
+            )
             .is_ok());
     }
 }

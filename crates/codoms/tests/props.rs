@@ -1,18 +1,13 @@
 //! Property-based tests for the CODOMs protection model.
 
-use codoms::apl::{Apl, DomainTable, Perm};
+use codoms::apl::{DomainTable, Perm};
 use codoms::cap::{CapKind, Capability, RevocationTable, CAPABILITY_BYTES};
 use codoms::{AplCache, Dcs};
 use proptest::prelude::*;
 use simmem::DomainTag;
 
 fn arb_perm() -> impl Strategy<Value = Perm> {
-    prop_oneof![
-        Just(Perm::Nil),
-        Just(Perm::Call),
-        Just(Perm::Read),
-        Just(Perm::Write)
-    ]
+    prop_oneof![Just(Perm::Nil), Just(Perm::Call), Just(Perm::Read), Just(Perm::Write)]
 }
 
 fn arb_cap() -> impl Strategy<Value = Capability> {

@@ -104,7 +104,13 @@ impl AppSpec {
     }
 
     /// Adds an import with the worst-case liveness set.
-    pub fn import(mut self, process: &str, entry: &str, sig: Signature, policy: IsoProps) -> AppSpec {
+    pub fn import(
+        mut self,
+        process: &str,
+        entry: &str,
+        sig: Signature,
+        policy: IsoProps,
+    ) -> AppSpec {
         self.imports.push(ImportSpec {
             process: process.to_string(),
             entry: entry.to_string(),
@@ -334,8 +340,7 @@ impl World {
                     .sys
                     .pass_handle(export_pid, pid, eh)
                     .expect("entry handle passes between live processes");
-                let req =
-                    EntryDesc { address: 0, signature: imp.sig, policy: imp.policy };
+                let req = EntryDesc { address: 0, signature: imp.sig, policy: imp.policy };
                 let (proxy_dom, addrs) = self
                     .sys
                     .entry_request(pid, eh, vec![req])

@@ -341,8 +341,7 @@ mod tests {
     fn stack_conf_adds_copy_only_with_stack_args() {
         let mut k = key(IsoProps::STACK_CONF, true);
         let t0 = build_template(&k);
-        let has_memcpy =
-            |t: &Program| t.bytes.chunks(8).any(|c| c[0] == 23);
+        let has_memcpy = |t: &Program| t.bytes.chunks(8).any(|c| c[0] == 23);
         assert!(!has_memcpy(&t0), "no stack args, no copy");
         k.sig.stack_bytes = 64;
         let t1 = build_template(&k);
@@ -353,13 +352,8 @@ mod tests {
     fn instantiate_patches_all_relocs() {
         let k = key(IsoProps::HIGH, true);
         let t = build_template(&k);
-        let spec = ProxySpec {
-            proxy_id: 42,
-            key: k,
-            callee_pid: 7,
-            callee_tag: 9,
-            target: 0xAAAA_0000,
-        };
+        let spec =
+            ProxySpec { proxy_id: 42, key: k, callee_pid: 7, callee_tag: 9, target: 0xAAAA_0000 };
         let (bytes, ret_off) = instantiate(&t, &spec, 0x5000_0000);
         assert_eq!(bytes.len(), t.bytes.len());
         assert_eq!(ret_off % 64, 0);

@@ -36,11 +36,8 @@ pub const STACK_FREE_CAP: u8 = 6;
 ///   this sequence (typically from a GOT slot; see [`crate::dsl`]).
 pub fn emit_caller_stub(a: &mut Asm, sig: Signature, props: IsoProps, live: &[Reg]) {
     let props = props.stub_side();
-    let saved: Vec<Reg> = if props.contains(IsoProps::REG_INTEGRITY) {
-        live.to_vec()
-    } else {
-        Vec::new()
-    };
+    let saved: Vec<Reg> =
+        if props.contains(IsoProps::REG_INTEGRITY) { live.to_vec() } else { Vec::new() };
 
     // --- isolate_call ---
     // Register integrity: save live registers onto the stack.
@@ -186,12 +183,7 @@ mod tests {
             emit_caller_stub(a, Signature::regs(1, 1), IsoProps::LOW, &[]);
         });
         let fat = count_instrs(|a| {
-            emit_caller_stub(
-                a,
-                Signature::regs(1, 1),
-                IsoProps::HIGH,
-                &reg::CALLEE_SAVED,
-            );
+            emit_caller_stub(a, Signature::regs(1, 1), IsoProps::HIGH, &reg::CALLEE_SAVED);
         });
         assert!(fat > lean + 20, "High policy must emit real isolation work");
     }

@@ -12,7 +12,7 @@ use cdvm::isa::reg;
 use cdvm::{Fault, FaultKind};
 use simkernel::accounting::TimeCat;
 use simkernel::percpu::{self, kcs, track};
-use simkernel::{Kernel, KernelConfig, KObject, KStep, Pid, ThreadState, Tid};
+use simkernel::{KObject, KStep, Kernel, KernelConfig, Pid, ThreadState, Tid};
 use simmem::{DomainTag, Memory, PageFlags, PAGE_SIZE};
 
 use crate::api::{
@@ -359,11 +359,8 @@ impl System {
             let caller_integrity = IsoProps(req.policy.0 & IsoProps::DCS_INTEGRITY.0);
             let proxy_props = conf_union | caller_integrity;
             let key = TemplateKey { sig: reg.signature, props: proxy_props, cross_process: cross };
-            let template = self
-                .templates
-                .entry(key)
-                .or_insert_with(|| proxy::build_template(&key))
-                .clone();
+            let template =
+                self.templates.entry(key).or_insert_with(|| proxy::build_template(&key)).clone();
             let proxy_id = self.next_proxy;
             self.next_proxy += 1;
             let spec = ProxySpec {
@@ -385,6 +382,17 @@ impl System {
         for ((spec, template), off) in specs.iter().zip(offsets.iter()) {
             let at = base + off;
             let (bytes, ret_off) = proxy::instantiate(template, spec, at);
+            if simtrace::enabled() {
+                // Tell the tracer where this proxy's entry code and return
+                // block live, so CPU-side domain crossings fold into
+                // proxy-call spans.
+                let padded = (bytes.len() as u64).div_ceil(64) * 64;
+                simtrace::register_proxy(
+                    format!("p{}->pid{}", spec.proxy_id, spec.callee_pid),
+                    (at, at + ret_off),
+                    (at + ret_off, at + padded),
+                );
+            }
             self.k.mem.kwrite(Memory::GLOBAL_PT, at, &bytes).expect("proxy pages mapped");
             self.proxies.insert(
                 spec.proxy_id,
@@ -408,8 +416,7 @@ impl System {
         }
 
         let h = self.fresh_handle();
-        self.doms
-            .insert(h.0, DomRec { tag: p, perm: HandlePerm::Call, owner_pid: caller_pid.0 });
+        self.doms.insert(h.0, DomRec { tag: p, perm: HandlePerm::Call, owner_pid: caller_pid.0 });
         Ok((h, addrs))
     }
 
@@ -432,12 +439,8 @@ impl System {
             self.proxies.values().filter(|p| p.callee_dom == tag).map(|p| p.dom).collect();
         for pdom in proxy_doms {
             // Remove every APL grant toward the proxy domain.
-            let granters: Vec<DomainTag> = self
-                .grants
-                .values()
-                .filter(|g| g.dst == pdom)
-                .map(|g| g.src)
-                .collect();
+            let granters: Vec<DomainTag> =
+                self.grants.values().filter(|g| g.dst == pdom).map(|g| g.src).collect();
             for src in granters {
                 self.k.domains.set_grant(src, pdom, codoms::Perm::Nil);
                 self.sync_apl_caches(src);
@@ -523,6 +526,15 @@ impl System {
 
     fn track_resolve(&mut self, cpu: usize, callee_pid: u64, callee_tag: u32) -> u64 {
         self.cold_resolves += 1;
+        if simtrace::enabled() {
+            simtrace::counter("cold_resolves", 1);
+            simtrace::instant(
+                simtrace::Track::Cpu(cpu),
+                self.k.cpus[cpu].cpu.cycles,
+                format!("track_resolve pid{callee_pid}"),
+                "proxy",
+            );
+        }
         self.k.charge(cpu, TimeCat::Kernel, TRACK_RESOLVE_COST);
         let Some(tid) = self.k.cpus[cpu].current else { return u64::MAX };
         let pid = Pid(callee_pid);
@@ -536,18 +548,10 @@ impl System {
         let key = (tid.0, callee_tag);
         if !self.track.contains_key(&key) {
             let tls = self.k.alloc_mem_tagged(pid, PAGE_SIZE, PageFlags::RW, tag);
-            let stack = self.k.alloc_mem_tagged(
-                pid,
-                TRACK_STACK_PAGES * PAGE_SIZE,
-                PageFlags::RW,
-                tag,
-            );
-            let dcs = self.k.alloc_mem_tagged(
-                pid,
-                PAGE_SIZE,
-                PageFlags::RW | PageFlags::CAP_STORE,
-                tag,
-            );
+            let stack =
+                self.k.alloc_mem_tagged(pid, TRACK_STACK_PAGES * PAGE_SIZE, PageFlags::RW, tag);
+            let dcs =
+                self.k.alloc_mem_tagged(pid, PAGE_SIZE, PageFlags::RW | PageFlags::CAP_STORE, tag);
             let tidp = {
                 let c = self.tidp_next.entry(callee_pid).or_insert(1);
                 let v = *c;
@@ -618,11 +622,8 @@ impl System {
     /// nearest live caller. Returns `true` if recovered.
     fn unwind_running(&mut self, cpu: usize, _tid: Tid, _fault: Fault) -> bool {
         let base = self.k.cpus[cpu].percpu_base;
-        let top = self
-            .k
-            .mem
-            .kread_u64(Memory::GLOBAL_PT, base + percpu::KCS_TOP)
-            .expect("percpu mapped");
+        let top =
+            self.k.mem.kread_u64(Memory::GLOBAL_PT, base + percpu::KCS_TOP).expect("percpu mapped");
         let kbase = self
             .k
             .mem
@@ -631,21 +632,14 @@ impl System {
         let mut e = top;
         while e >= kbase + percpu::KCS_ENTRY {
             e -= percpu::KCS_ENTRY;
-            let caller_pid = self
-                .k
-                .mem
-                .kread_u64(Memory::GLOBAL_PT, e + kcs::CALLER_PID)
-                .expect("kcs mapped");
-            let alive =
-                self.k.procs.get(&Pid(caller_pid)).map(|p| p.alive).unwrap_or(false);
+            let caller_pid =
+                self.k.mem.kread_u64(Memory::GLOBAL_PT, e + kcs::CALLER_PID).expect("kcs mapped");
+            let alive = self.k.procs.get(&Pid(caller_pid)).map(|p| p.alive).unwrap_or(false);
             if !alive {
                 continue;
             }
-            let proxy_id = self
-                .k
-                .mem
-                .kread_u64(Memory::GLOBAL_PT, e + kcs::PROXY_ID)
-                .expect("kcs mapped");
+            let proxy_id =
+                self.k.mem.kread_u64(Memory::GLOBAL_PT, e + kcs::PROXY_ID).expect("kcs mapped");
             let Some(pr) = self.proxies.get(&proxy_id) else { continue };
             let (ret_addr, dom) = (pr.ret_addr, pr.dom);
             // Resume on the recorded proxy's return path with the KCS
@@ -661,6 +655,11 @@ impl System {
             cpu_ref.cur_dom = dom;
             cpu_ref.set_reg(reg::A0, DIPC_ERR_FAULT);
             self.unwinds += 1;
+            if simtrace::enabled() {
+                simtrace::counter("unwinds", 1);
+                let now = self.k.cpus[cpu].cpu.cycles;
+                simtrace::instant(simtrace::Track::Cpu(cpu), now, "kcs_unwind", "fault");
+            }
             return true;
         }
         false
@@ -677,21 +676,14 @@ impl System {
         let mut e = kcs_top;
         while e >= kcs_base + percpu::KCS_ENTRY {
             e -= percpu::KCS_ENTRY;
-            let caller_pid = self
-                .k
-                .mem
-                .kread_u64(Memory::GLOBAL_PT, e + kcs::CALLER_PID)
-                .expect("kcs mapped");
-            let alive =
-                self.k.procs.get(&Pid(caller_pid)).map(|p| p.alive).unwrap_or(false);
+            let caller_pid =
+                self.k.mem.kread_u64(Memory::GLOBAL_PT, e + kcs::CALLER_PID).expect("kcs mapped");
+            let alive = self.k.procs.get(&Pid(caller_pid)).map(|p| p.alive).unwrap_or(false);
             if !alive {
                 continue;
             }
-            let proxy_id = self
-                .k
-                .mem
-                .kread_u64(Memory::GLOBAL_PT, e + kcs::PROXY_ID)
-                .expect("kcs mapped");
+            let proxy_id =
+                self.k.mem.kread_u64(Memory::GLOBAL_PT, e + kcs::PROXY_ID).expect("kcs mapped");
             let Some(pr) = self.proxies.get(&proxy_id) else { continue };
             let (ret_addr, dom) = (pr.ret_addr, pr.dom);
             let t = self.k.threads.get_mut(&tid).expect("exists");
@@ -707,6 +699,7 @@ impl System {
                 self.k.cpus[target].runq.push_back(tid);
             }
             self.unwinds += 1;
+            simtrace::counter("unwinds", 1);
             return true;
         }
         false
@@ -775,7 +768,7 @@ impl System {
     /// call in progress.
     pub fn split_timeout(&mut self, tid: Tid) -> Option<Tid> {
         // Locate the thread's KCS view (live per-CPU copy if running).
-        let (kcs_base, kcs_top, running_cpu) = match self.k.threads.get(&tid)? .state {
+        let (kcs_base, kcs_top, running_cpu) = match self.k.threads.get(&tid)?.state {
             ThreadState::Running(cpu) => {
                 let base = self.k.cpus[cpu].percpu_base;
                 (
@@ -907,10 +900,7 @@ impl System {
         let page = self.k.kshared_alloc(1, PageFlags::RW);
         let halt = cdvm::Instr::Halt.encode();
         self.k.mem.kwrite(Memory::GLOBAL_PT, page, &halt).expect("just mapped");
-        self.k
-            .mem
-            .table_mut(Memory::GLOBAL_PT)
-            .protect(page, PageFlags::RX);
+        self.k.mem.table_mut(Memory::GLOBAL_PT).protect(page, PageFlags::RX);
         self.exit_gadget = Some(page);
         page
     }

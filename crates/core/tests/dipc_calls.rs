@@ -199,10 +199,7 @@ fn callee_crash_unwinds_to_caller_with_error() {
         w.sys.k.threads[&tid].exit_code, DIPC_ERR_FAULT,
         "caller sees the errno-style error"
     );
-    assert!(
-        matches!(w.sys.k.threads[&tid].state, ThreadState::Dead),
-        "caller ran to completion"
-    );
+    assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead), "caller ran to completion");
     // The caller's process survives; the web thread wasn't killed.
     let web_pid = w.app("web").pid;
     let db_pid = w.app("db").pid;
@@ -260,7 +257,11 @@ fn capability_passes_buffer_by_reference() {
         a.push(Instr::St { rs1: A0, rs2: T0, imm: 0 });
         a.ret();
     })
-    .export("fill", Signature { args: 1, rets: 0, stack_bytes: 0, cap_args: 1 }, IsoProps::LOW);
+    .export(
+        "fill",
+        Signature { args: 1, rets: 0, stack_bytes: 0, cap_args: 1 },
+        IsoProps::LOW,
+    );
     w.build(db);
     let web = AppSpec::new("web", |a| {
         a.label("main");
@@ -361,10 +362,8 @@ fn killing_callee_process_unwinds_visitors() {
     let db_pid = w.app("db").pid;
     // Let the call get inside db, then kill db.
     for _ in 0..100_000 {
-        if matches!(w.sys.step(), dipc::SysStep::Progress) {
-            if w.sys.k.current_pid(0) == db_pid {
-                break;
-            }
+        if matches!(w.sys.step(), dipc::SysStep::Progress) && w.sys.k.current_pid(0) == db_pid {
+            break;
         }
     }
     assert_eq!(w.sys.k.current_pid(0), db_pid, "call must be inside db");
@@ -389,7 +388,7 @@ fn vm_level_dipc_syscalls() {
         a.li(A7, dipc::dsys::DOM_MMAP);
         a.push(Instr::Ecall);
         a.push(Instr::Add { rd: S1, rs1: A0, rs2: ZERO }); // addr
-        // The new domain is not in our APL: grant ourselves access first.
+                                                           // The new domain is not in our APL: grant ourselves access first.
         a.li(A7, dipc::dsys::DOM_DEFAULT);
         a.push(Instr::Ecall);
         a.push(Instr::Add { rd: S2, rs1: A0, rs2: ZERO }); // own dom fd

@@ -2,7 +2,7 @@
 //! identically to the in-memory spec (the §5.3.2 compiler → loader path).
 
 use cdvm::isa::reg::*;
-use cdvm::{Asm, Instr};
+use cdvm::Instr;
 use dipc::{AppSpec, DipcImage, IsoProps, Signature, World};
 use simkernel::KernelConfig;
 

@@ -2,7 +2,7 @@
 //! inside the programs.
 
 use cdvm::isa::reg::*;
-use cdvm::{Asm, Instr};
+use cdvm::Instr;
 use dipc::{AppSpec, IsoProps, Signature, World};
 use simkernel::KernelConfig;
 
@@ -34,8 +34,7 @@ fn register_integrity_protects_live_state() {
         a.push(Instr::Add { rd: A0, rs1: S0, rs2: S1 });
         a.push(Instr::Halt);
     })
-    .import_live("evil", "clobber", Signature::regs(1, 1),
-        IsoProps::REG_INTEGRITY, &[S0, S1]);
+    .import_live("evil", "clobber", Signature::regs(1, 1), IsoProps::REG_INTEGRITY, &[S0, S1]);
     w.build(app);
     w.link();
     let tid = w.spawn("app", "main", &[]);

@@ -2,7 +2,7 @@
 //! point into them.
 
 use cdvm::isa::reg::*;
-use cdvm::{Asm, Instr};
+use cdvm::Instr;
 use dipc::{AppSpec, HandlePerm, IsoProps, Signature, World};
 use simkernel::{KernelConfig, ThreadState};
 
@@ -53,10 +53,7 @@ fn destroying_the_callee_domain_invalidates_proxies() {
     // process dies on the denied jump.
     assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
     let cli_pid = w.app("cli").pid;
-    assert!(
-        !w.sys.k.procs[&cli_pid].alive,
-        "calling a destroyed domain is a fault, not a hang"
-    );
+    assert!(!w.sys.k.procs[&cli_pid].alive, "calling a destroyed domain is a fault, not a hang");
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! §5.4 cross-process call time-outs: thread splitting.
 
 use cdvm::isa::reg::*;
-use cdvm::{Asm, Instr};
+use cdvm::Instr;
 use dipc::{AppSpec, IsoProps, Signature, World, DIPC_ERR_TIMEDOUT};
 use simkernel::{KernelConfig, ThreadState};
 
@@ -48,10 +48,7 @@ fn timeout_splits_caller_and_callee() {
     // ETIMEDOUT; the original thread finishes the callee work and
     // self-destructs via the exit gadget.
     w.sys.run_to_completion();
-    assert_eq!(
-        w.sys.k.threads[&new_tid].exit_code, DIPC_ERR_TIMEDOUT,
-        "caller sees ETIMEDOUT"
-    );
+    assert_eq!(w.sys.k.threads[&new_tid].exit_code, DIPC_ERR_TIMEDOUT, "caller sees ETIMEDOUT");
     assert!(matches!(w.sys.k.threads[&new_tid].state, ThreadState::Dead));
     assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
     assert_eq!(

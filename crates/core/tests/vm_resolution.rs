@@ -5,7 +5,7 @@
 
 use cdvm::isa::reg::*;
 use cdvm::{Asm, Instr};
-use dipc::{dsys, IsoProps, Signature, System};
+use dipc::{dsys, Signature, System};
 use simkernel::{sysno, KernelConfig, ThreadState};
 use simmem::PageFlags;
 
@@ -29,7 +29,7 @@ fn entry_resolution_over_named_sockets() {
     a.label("main");
     sys(&mut a, dsys::DOM_DEFAULT);
     a.push(Instr::Add { rd: S0, rs1: A0, rs2: ZERO }); // dom fd
-    // Descriptor: [address, signature, policy, 0].
+                                                       // Descriptor: [address, signature, policy, 0].
     a.li_sym(T0, "$desc");
     a.li_sym(T1, "double");
     a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
@@ -41,7 +41,7 @@ fn entry_resolution_over_named_sockets() {
     a.li_sym(A2, "$desc");
     sys(&mut a, dsys::ENTRY_REGISTER);
     a.push(Instr::Add { rd: S1, rs1: A0, rs2: ZERO }); // entry fd
-    // Named socket handshake.
+                                                       // Named socket handshake.
     a.li_sym(A0, "$name");
     a.li(A1, 3);
     sys(&mut a, sysno::SOCK_LISTEN);
@@ -74,7 +74,7 @@ fn entry_resolution_over_named_sockets() {
     a.push(Instr::Add { rd: A0, rs1: S2, rs2: ZERO });
     sys(&mut a, sysno::RECV_FD);
     a.push(Instr::Add { rd: S1, rs1: A0, rs2: ZERO }); // entry fd
-    // Request descriptor (signature must match - P4).
+                                                       // Request descriptor (signature must match - P4).
     a.li_sym(T0, "$desc");
     a.push(Instr::St { rs1: T0, rs2: ZERO, imm: 0 });
     a.li(T1, Signature::regs(1, 1).pack());
@@ -85,7 +85,7 @@ fn entry_resolution_over_named_sockets() {
     a.li_sym(A2, "$desc");
     sys(&mut a, dsys::ENTRY_REQUEST);
     a.push(Instr::Add { rd: S3, rs1: A0, rs2: ZERO }); // proxy dom fd
-    // Grant ourselves Call permission on the proxy domain.
+                                                       // Grant ourselves Call permission on the proxy domain.
     sys(&mut a, dsys::DOM_DEFAULT);
     a.push(Instr::Add { rd: T2, rs1: A0, rs2: ZERO });
     a.push(Instr::Add { rd: A0, rs1: T2, rs2: ZERO });

@@ -66,13 +66,8 @@ pub fn build(p: &OltpParams) -> Stack {
     };
     let db_pid = w.app("db").pid;
     let file = w.sys.k.add_file("dvdstore.db", vec![7u8; (p.row_bytes * 4) as usize], storage);
-    let fd = w
-        .sys
-        .k
-        .procs
-        .get_mut(&db_pid)
-        .expect("exists")
-        .add_fd(KObject::File { id: file, pos: 0 });
+    let fd =
+        w.sys.k.procs.get_mut(&db_pid).expect("exists").add_fd(KObject::File { id: file, pos: 0 });
     assert_eq!(fd.0 as u64, tiers::DB_FD);
 
     let counters = w.app("web").data["counters"];

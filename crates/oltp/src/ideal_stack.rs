@@ -70,11 +70,7 @@ mod tests {
         // 4 CPUs / 3.13 ms per op ≈ 76 k ops/min upper bound; expect ≥ 70 %
         // of it and almost no idle.
         let bound = 4.0 / (p.app_work_per_op_ns() as f64 / 1e9) * 60.0;
-        assert!(
-            r.ops_per_min > bound * 0.7,
-            "ideal {} ops/min vs bound {bound}",
-            r.ops_per_min
-        );
+        assert!(r.ops_per_min > bound * 0.7, "ideal {} ops/min vs bound {bound}", r.ops_per_min);
         assert!(r.idle_frac < 0.1, "idle {}", r.idle_frac);
         assert!(r.user_frac > 0.8, "Figure 1: Ideal is ~81% user time, got {}", r.user_frac);
     }

@@ -47,9 +47,7 @@ pub struct Stack {
 impl Stack {
     fn sum_counters(&self) -> u64 {
         let (pt, base) = self.counters;
-        (0..self.slots)
-            .map(|i| self.sys.k.mem.kread_u64(pt, base + i * 8).unwrap_or(0))
-            .sum()
+        (0..self.slots).map(|i| self.sys.k.mem.kread_u64(pt, base + i * 8).unwrap_or(0)).sum()
     }
 
     /// Runs the stack: `warm_ms` of simulated warm-up, then `measure_ms` of
@@ -62,7 +60,44 @@ impl Stack {
         let b0 = self.sys.k.breakdown();
         let c0 = self.sys.k.now_max();
         let end = c0 + cost.cycles_from_ns(measure_ms as f64 * 1e6);
-        self.sys.run_until(|s| s.k.now_max() >= end);
+        // Request-lifecycle tracing: sample the per-slot operation counters
+        // from inside the run predicate (a passive memory read — no cycles
+        // are charged, so cycle counts are identical with tracing off). Each
+        // completed operation batch becomes a span on that slot's request
+        // track plus a latency-histogram sample.
+        let traced = simtrace::enabled();
+        let (pt, base) = self.counters;
+        let slots = self.slots as usize;
+        let mut last: Vec<u64> = (0..slots)
+            .map(|i| self.sys.k.mem.kread_u64(pt, base + i as u64 * 8).unwrap_or(0))
+            .collect();
+        let mut last_ts = vec![c0; slots];
+        self.sys.run_until(|s| {
+            if traced {
+                for i in 0..slots {
+                    let v = s.k.mem.kread_u64(pt, base + i as u64 * 8).unwrap_or(0);
+                    if v != last[i] {
+                        let now = s.k.now_max();
+                        let done = v - last[i];
+                        let per = (now - last_ts[i]) / done.max(1);
+                        for _ in 0..done {
+                            simtrace::hist("request_latency_cycles", per);
+                        }
+                        simtrace::counter("oltp_ops", done);
+                        simtrace::begin_span(
+                            simtrace::Track::Request(i),
+                            last_ts[i],
+                            format!("op#{v}"),
+                            "request",
+                        );
+                        simtrace::end_span(simtrace::Track::Request(i), now);
+                        last[i] = v;
+                        last_ts[i] = now;
+                    }
+                }
+            }
+            s.k.now_max() >= end
+        });
         let ops = self.sum_counters() - ops0;
         let breakdown = self.sys.k.breakdown().since(&b0);
         let dt_ns = cost.ns(self.sys.k.now_max() - c0);

@@ -34,8 +34,7 @@ impl Default for OpMix {
 impl OpMix {
     /// Weighted mean queries per operation (weights 10/4/2 of 16).
     pub fn mean_queries(&self) -> f64 {
-        (10.0 * self.browse_q as f64 + 4.0 * self.login_q as f64
-            + 2.0 * self.purchase_q as f64)
+        (10.0 * self.browse_q as f64 + 4.0 * self.login_q as f64 + 2.0 * self.purchase_q as f64)
             / 16.0
     }
 }
@@ -147,10 +146,7 @@ mod tests {
     #[test]
     fn app_work_matches_components() {
         let p = OltpParams::default();
-        assert_eq!(
-            p.app_work_per_op_ns(),
-            120_000 + 60_000 + 150_000 + 100 * 28_000
-        );
+        assert_eq!(p.app_work_per_op_ns(), 120_000 + 60_000 + 150_000 + 100 * 28_000);
         // Ideal peak on 4 CPUs ≈ 4 / per-op-seconds ops/s; should be in the
         // paper's ≈65 k ops/min ballpark.
         let peak_per_min = 4.0 / (p.app_work_per_op_ns() as f64 / 1e9) * 60.0;

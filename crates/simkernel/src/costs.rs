@@ -88,9 +88,9 @@ impl Default for SysCosts {
             file: 800,
             disk_ns: 300_000,
             tmpfs_ns: 900,
-            quantum: 3_100_000,   // 1 ms
-            max_slice: 310_000,   // 100 µs
-            sync_window: 620,     // 200 ns
+            quantum: 3_100_000, // 1 ms
+            max_slice: 310_000, // 100 µs
+            sync_window: 620,   // 200 ns
         }
     }
 }

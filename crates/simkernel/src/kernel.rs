@@ -8,9 +8,7 @@ use cdvm::{CostModel, Cpu, Fault, FaultKind, RunExit, StepEvent};
 use codoms::apl::DomainTable;
 use codoms::cap::RevocationTable;
 use codoms::dcs::Dcs;
-use simmem::{
-    DomainTag, GlobalVas, Memory, PageFlags, PageTableId, ProcLayout, PAGE_SIZE,
-};
+use simmem::{DomainTag, GlobalVas, Memory, PageFlags, PageTableId, ProcLayout, PAGE_SIZE};
 
 use crate::accounting::{TimeBreakdown, TimeCat};
 use crate::costs::SysCosts;
@@ -218,6 +216,10 @@ pub struct Kernel {
 impl Kernel {
     /// Boots a kernel: allocates per-CPU areas and the kernel-shared domain.
     pub fn new(cfg: KernelConfig) -> Kernel {
+        // Each kernel restarts its CPU cycle counters at zero; rebase the
+        // tracer's timeline so sequential systems in one process stay
+        // monotonic per track.
+        simtrace::new_epoch();
         let mut mem = Memory::new();
         let mut domains = DomainTable::new();
         let kshared_dom = domains.create();
@@ -373,7 +375,11 @@ impl Kernel {
                     .get(&r.symbol)
                     .unwrap_or_else(|| panic!("unresolved symbol {}", r.symbol)),
             };
-            cdvm::asm::patch_abs64(&mut bytes, r.offset as usize, value.wrapping_add(r.addend as u64));
+            cdvm::asm::patch_abs64(
+                &mut bytes,
+                r.offset as usize,
+                value.wrapping_add(r.addend as u64),
+            );
         }
         let pt = self.procs[&pid].pt;
         self.mem.kwrite(pt, base, &bytes).expect("just mapped");
@@ -487,11 +493,7 @@ impl Kernel {
 
     /// Installs an embedder-owned handle in a process's fd table.
     pub fn install_opaque(&mut self, pid: Pid, class: u32, id: u64) -> u32 {
-        self.procs
-            .get_mut(&pid)
-            .expect("no such process")
-            .add_fd(KObject::Opaque { class, id })
-            .0
+        self.procs.get_mut(&pid).expect("no such process").add_fd(KObject::Opaque { class, id }).0
     }
 
     // ------------------------------------------------------------------
@@ -531,6 +533,9 @@ impl Kernel {
     pub fn charge(&mut self, cpu: usize, cat: TimeCat, cycles: u64) {
         self.cpus[cpu].cpu.cycles += cycles;
         self.cpus[cpu].breakdown.add(cat, cycles);
+        if simtrace::enabled() {
+            simtrace::slice(cpu, self.cpus[cpu].cpu.cycles, cycles, cat);
+        }
     }
 
     /// Completes an embedder-handled syscall by writing the return value.
@@ -634,11 +639,7 @@ impl Kernel {
         if slot.current.is_some() {
             return Some(slot.cpu.cycles);
         }
-        slot.runq
-            .iter()
-            .map(|t| self.threads[t].ready_at)
-            .min()
-            .map(|r| r.max(slot.cpu.cycles))
+        slot.runq.iter().map(|t| self.threads[t].ready_at).min().map(|r| r.max(slot.cpu.cycles))
     }
 
     fn process_event(&mut self) -> KStep {
@@ -650,6 +651,13 @@ impl Kernel {
                     let idle = time - slot.cpu.cycles;
                     slot.cpu.cycles = time;
                     slot.breakdown.add(TimeCat::Idle, idle);
+                    if simtrace::enabled() {
+                        simtrace::slice(cpu, time, idle, TimeCat::Idle);
+                    }
+                }
+                if simtrace::enabled() {
+                    let now = self.cpus[cpu].cpu.cycles;
+                    simtrace::instant(simtrace::Track::Cpu(cpu), now, "ipi_deliver", "ipi");
                 }
                 // Handling cost; the reschedule happens on the next loop
                 // iteration via cpu_next_action_time.
@@ -682,7 +690,8 @@ impl Kernel {
         let tid = self.cpus[i].current.expect("scheduled above");
 
         // Restart-style blocking syscall: finish it before running user code.
-        if let Some((snr, sargs)) = self.threads.get_mut(&tid).and_then(|t| t.pending_syscall.take())
+        if let Some((snr, sargs)) =
+            self.threads.get_mut(&tid).and_then(|t| t.pending_syscall.take())
         {
             return self.handle_syscall(i, tid, snr, sargs, false);
         }
@@ -719,6 +728,15 @@ impl Kernel {
         if let Some(p) = self.procs.get_mut(&cur_pid) {
             p.cpu_time += delta;
         }
+        if simtrace::enabled() && delta > 0 {
+            // Mirror reattribute(): on an ecall exit, the trailing ecall
+            // microcode cycles belong to block (2), not user code.
+            let clock = self.cpus[i].cpu.cycles;
+            let ec =
+                if matches!(exit.event, StepEvent::Ecall) { self.cost.ecall.min(delta) } else { 0 };
+            simtrace::slice(i, clock - ec, delta - ec, TimeCat::User);
+            simtrace::slice(i, clock, ec, TimeCat::SyscallEntry);
+        }
 
         match exit.event {
             StepEvent::Retired => {
@@ -752,6 +770,11 @@ impl Kernel {
                 // the kernel, fill, retry.
                 if let Some(apl) = self.domains.apl(tag) {
                     let apl = apl.clone();
+                    if simtrace::enabled() {
+                        let now = self.cpus[i].cpu.cycles;
+                        simtrace::counter("apl_miss", 1);
+                        simtrace::instant(simtrace::Track::Cpu(i), now, "apl_refill", "kernel");
+                    }
                     let c = self.cost.exception + self.cost.apl_refill;
                     self.charge(i, TimeCat::Kernel, c);
                     let (hw, evicted) = self.cpus[i].cpu.apl_cache.fill(tag, apl);
@@ -776,13 +799,19 @@ impl Kernel {
                     KStep::UserFault {
                         cpu: i,
                         tid,
-                        fault: Fault { pc, kind: FaultKind::Codoms(
-                            codoms::check::CheckError::AplMiss { tag },
-                        ) },
+                        fault: Fault {
+                            pc,
+                            kind: FaultKind::Codoms(codoms::check::CheckError::AplMiss { tag }),
+                        },
                     }
                 }
             }
             StepEvent::Fault(fault) => {
+                if simtrace::enabled() {
+                    let now = self.cpus[i].cpu.cycles;
+                    simtrace::counter("faults", 1);
+                    simtrace::instant(simtrace::Track::Cpu(i), now, "fault", "fault");
+                }
                 let c = self.cost.exception;
                 self.charge(i, TimeCat::Kernel, c);
                 KStep::UserFault { cpu: i, tid, fault }
@@ -822,10 +851,8 @@ impl Kernel {
         let slot = &self.cpus[i];
         let ctx = ThreadCtx::save(&slot.cpu);
         let base = slot.percpu_base;
-        let kcs_top = self
-            .mem
-            .kread_u64(Memory::GLOBAL_PT, base + percpu::KCS_TOP)
-            .expect("percpu mapped");
+        let kcs_top =
+            self.mem.kread_u64(Memory::GLOBAL_PT, base + percpu::KCS_TOP).expect("percpu mapped");
         let cur_pid = self.current_pid(i);
         let t = self.threads.get_mut(&tid).expect("exists");
         t.ctx = ctx;
@@ -842,18 +869,16 @@ impl Kernel {
         let clock = self.cpus[i].cpu.cycles;
         // Prefer a thread that is ready now; otherwise idle-advance to the
         // earliest ready_at.
-        let pos = self.cpus[i]
-            .runq
-            .iter()
-            .position(|t| self.threads[t].ready_at <= clock)
-            .or_else(|| {
+        let pos = self.cpus[i].runq.iter().position(|t| self.threads[t].ready_at <= clock).or_else(
+            || {
                 let min = self.cpus[i]
                     .runq
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, t)| self.threads[*t].ready_at)?;
                 Some(min.0)
-            });
+            },
+        );
         let Some(pos) = pos else { return };
         let tid = self.cpus[i].runq.remove(pos).expect("index valid");
         let ready = self.threads[&tid].ready_at;
@@ -861,6 +886,9 @@ impl Kernel {
             let idle = ready - clock;
             self.cpus[i].cpu.cycles = ready;
             self.cpus[i].breakdown.add(TimeCat::Idle, idle);
+            if simtrace::enabled() {
+                simtrace::slice(i, ready, idle, TimeCat::Idle);
+            }
         }
 
         // Restore context.
@@ -892,15 +920,18 @@ impl Kernel {
             (percpu::KCS_LIMIT, kcs_limit),
             (percpu::PROC_CACHE, proc_cache),
         ] {
-            self.mem
-                .kwrite_u64(Memory::GLOBAL_PT, base + off, v)
-                .expect("percpu mapped");
+            self.mem.kwrite_u64(Memory::GLOBAL_PT, base + off, v).expect("percpu mapped");
         }
 
         let t = self.threads.get_mut(&tid).expect("exists");
         t.state = ThreadState::Running(i);
         self.cpus[i].current = Some(tid);
         self.cpus[i].quantum_start = self.cpus[i].cpu.cycles;
+        if simtrace::enabled() {
+            let now = self.cpus[i].cpu.cycles;
+            simtrace::counter("context_switches", 1);
+            simtrace::instant(simtrace::Track::Cpu(i), now, format!("run tid{}", tid.0), "sched");
+        }
     }
 
     /// Makes a blocked thread runnable and routes it to a CPU, sending an
@@ -937,6 +968,10 @@ impl Kernel {
         };
         if target != from && self.cpus[target].current.is_none() {
             // Remote idle CPU: IPI (the dominant cross-CPU cost, §2.2).
+            if simtrace::enabled() {
+                simtrace::counter("ipi_sent", 1);
+                simtrace::instant(simtrace::Track::Cpu(from), now, "ipi_send", "ipi");
+            }
             let c = self.cost.ipi_send;
             self.charge(from, TimeCat::Kernel, c);
             let arrive = now + self.cost.cycles_from_ns(self.cost.ipi_latency_ns);
@@ -1012,6 +1047,14 @@ impl Kernel {
         args: [u64; 6],
         fresh: bool,
     ) -> KStep {
+        let traced = simtrace::enabled();
+        if traced {
+            let now = self.cpus[i].cpu.cycles;
+            let name = crate::syscall::name(snr)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("sys_{snr}"));
+            simtrace::begin_span(simtrace::Track::Cpu(i), now, name, "syscall");
+        }
         if fresh {
             // Remainder of block (2): swapgs pair and the eventual sysret.
             let c2 = 2 * self.cost.swapgs + self.cost.sysret;
@@ -1020,7 +1063,7 @@ impl Kernel {
             self.charge(i, TimeCat::Dispatch, c3);
         }
         let res = self.syscall_impl(i, tid, snr, args);
-        match res {
+        let step = match res {
             SysResult::Ret(v) => {
                 self.cpus[i].cpu.set_reg(reg::A0, v);
                 KStep::Progress
@@ -1047,7 +1090,11 @@ impl Kernel {
             }
             SysResult::Descheduled => KStep::Progress,
             SysResult::Unknown => KStep::UnknownSyscall { cpu: i, tid, nr: snr, args },
+        };
+        if traced {
+            simtrace::end_span(simtrace::Track::Cpu(i), self.cpus[i].cpu.cycles);
         }
+        step
     }
 
     fn syscall_impl(&mut self, i: usize, tid: Tid, snr: u64, args: [u64; 6]) -> SysResult {
@@ -1163,13 +1210,7 @@ impl Kernel {
                 let tag = self.procs[&pid].default_domain;
                 self.mem.unmap(pt, base, size / PAGE_SIZE);
                 for (k, frame) in self.shms[id].frames.clone().into_iter().enumerate() {
-                    self.mem.map_shared(
-                        pt,
-                        base + k as u64 * PAGE_SIZE,
-                        frame,
-                        PageFlags::RW,
-                        tag,
-                    );
+                    self.mem.map_shared(pt, base + k as u64 * PAGE_SIZE, frame, PageFlags::RW, tag);
                 }
                 SysResult::Ret(base)
             }
@@ -1188,6 +1229,7 @@ impl Kernel {
     /// quarter of the user-copy throughput — plus per-page mapping checks
     /// (kernel transfers "must ensure that pages are mapped", §7.2).
     fn charge_kcopy(&mut self, i: usize, len: u64) {
+        simtrace::counter("bytes_copied_kernel", len);
         let pages = len.div_ceil(PAGE_SIZE).max(1);
         let bytes_per_cycle = (self.cost.copy_bytes_per_cycle / 4).max(1);
         let c = 4 + len.div_ceil(bytes_per_cycle) + pages * self.sys.kcopy_page;
@@ -1225,6 +1267,10 @@ impl Kernel {
                 SysResult::Ret(data.len() as u64)
             }
             KObject::Sock(id) => {
+                if simtrace::enabled() {
+                    let now = self.cpus[i].cpu.cycles;
+                    simtrace::instant(simtrace::Track::Cpu(i), now, "sock_read", "net");
+                }
                 let c = self.sys.sock;
                 self.charge(i, TimeCat::Kernel, c);
                 if self.socks[id].rx.is_empty() {
@@ -1288,6 +1334,10 @@ impl Kernel {
                 SysResult::Ret(n as u64)
             }
             KObject::Sock(id) => {
+                if simtrace::enabled() {
+                    let now = self.cpus[i].cpu.cycles;
+                    simtrace::instant(simtrace::Track::Cpu(i), now, "sock_write", "net");
+                }
                 let c = self.sys.sock;
                 self.charge(i, TimeCat::Kernel, c);
                 let peer = self.socks[id].peer;
@@ -1371,6 +1421,11 @@ impl Kernel {
     }
 
     fn sys_futex_wait(&mut self, i: usize, tid: Tid, args: [u64; 6]) -> SysResult {
+        if simtrace::enabled() {
+            let now = self.cpus[i].cpu.cycles;
+            simtrace::counter("futex_waits", 1);
+            simtrace::instant(simtrace::Track::Cpu(i), now, "futex_wait", "futex");
+        }
         let c = self.sys.futex_wait;
         self.charge(i, TimeCat::Kernel, c);
         let pt = self.user_pt(i);
@@ -1389,6 +1444,11 @@ impl Kernel {
     }
 
     fn sys_futex_wake(&mut self, i: usize, args: [u64; 6]) -> SysResult {
+        if simtrace::enabled() {
+            let now = self.cpus[i].cpu.cycles;
+            simtrace::counter("futex_wakes", 1);
+            simtrace::instant(simtrace::Track::Cpu(i), now, "futex_wake", "futex");
+        }
         let c = self.sys.futex_wake;
         self.charge(i, TimeCat::Kernel, c);
         let pt = self.user_pt(i);
@@ -1691,8 +1751,7 @@ impl Kernel {
                 // belongs on this CPU (the L4 switchback fast path).
                 if let Some(c) = replied_to {
                     if self.thread_cpu(c) == i {
-                        self.threads.get_mut(&c).expect("exists").state =
-                            ThreadState::Runnable;
+                        self.threads.get_mut(&c).expect("exists").state = ThreadState::Runnable;
                         self.direct_switch(i, c);
                     } else {
                         self.wake_from_cpu(c, i);
@@ -1707,6 +1766,16 @@ impl Kernel {
     /// pass (the caller has already been descheduled).
     fn direct_switch(&mut self, i: usize, tid: Tid) {
         debug_assert!(self.cpus[i].current.is_none());
+        if simtrace::enabled() {
+            let now = self.cpus[i].cpu.cycles;
+            simtrace::counter("direct_switches", 1);
+            simtrace::instant(
+                simtrace::Track::Cpu(i),
+                now,
+                format!("direct_switch tid{}", tid.0),
+                "sched",
+            );
+        }
         // Remove from whichever runqueue holds it (it may have been made
         // runnable by an earlier wake).
         for slot in &mut self.cpus {

@@ -82,7 +82,8 @@ mod tests {
 
     #[test]
     fn slots_do_not_overlap() {
-        let slots = [CUR_PID, CUR_TID, KCS_TOP, KCS_BASE, PROC_CACHE, CPU_INDEX, KCS_LIMIT, SCRATCH];
+        let slots =
+            [CUR_PID, CUR_TID, KCS_TOP, KCS_BASE, PROC_CACHE, CPU_INDEX, KCS_LIMIT, SCRATCH];
         for w in slots.windows(2) {
             assert!(w[1] >= w[0] + 8);
         }
@@ -90,16 +91,16 @@ mod tests {
 
     #[test]
     fn kcs_fields_fit_entry() {
-        assert!(kcs::DCS_TOP + 8 <= KCS_ENTRY);
+        const { assert!(kcs::DCS_TOP + 8 <= KCS_ENTRY) }
     }
 
     #[test]
     fn track_fields_fit_entry() {
-        assert!(track::DCS + 8 <= PROC_CACHE_ENTRY);
+        const { assert!(track::DCS + 8 <= PROC_CACHE_ENTRY) }
     }
 
     #[test]
     fn proc_cache_fits_a_page() {
-        assert!(PROC_CACHE_BYTES <= simmem::PAGE_SIZE);
+        const { assert!(PROC_CACHE_BYTES <= simmem::PAGE_SIZE) }
     }
 }

@@ -92,6 +92,41 @@ pub mod errno {
     pub const ESRCH: u64 = 3;
 }
 
+/// Human-readable name for a syscall number, for trace span labels.
+pub fn name(n: u64) -> Option<&'static str> {
+    Some(match n {
+        nr::EXIT => "sys_exit",
+        nr::EXIT_GROUP => "sys_exit_group",
+        nr::GETPID => "sys_getpid",
+        nr::GETTID => "sys_gettid",
+        nr::MMAP => "sys_mmap",
+        nr::PIPE2 => "sys_pipe2",
+        nr::READ => "sys_read",
+        nr::WRITE => "sys_write",
+        nr::CLOSE => "sys_close",
+        nr::FUTEX_WAIT => "sys_futex_wait",
+        nr::FUTEX_WAKE => "sys_futex_wake",
+        nr::SOCK_LISTEN => "sys_sock_listen",
+        nr::SOCK_CONNECT => "sys_sock_connect",
+        nr::SOCK_ACCEPT => "sys_sock_accept",
+        nr::SPAWN_THREAD => "sys_spawn_thread",
+        nr::SLEEP_NS => "sys_sleep_ns",
+        nr::YIELD => "sys_yield",
+        nr::PIN_CPU => "sys_pin_cpu",
+        nr::FILE_OPEN => "sys_file_open",
+        nr::FILE_READ => "sys_file_read",
+        nr::FILE_WRITE => "sys_file_write",
+        nr::CLOCK_NS => "sys_clock_ns",
+        nr::L4_CALL => "sys_l4_call",
+        nr::L4_REPLY_WAIT => "sys_l4_reply_wait",
+        nr::SHM_CREATE => "sys_shm_create",
+        nr::SHM_MAP => "sys_shm_map",
+        nr::SEND_FD => "sys_send_fd",
+        nr::RECV_FD => "sys_recv_fd",
+        _ => return None,
+    })
+}
+
 /// Encodes `-errno` as a u64 result.
 #[inline]
 pub fn err(e: u64) -> u64 {

@@ -292,10 +292,7 @@ fn cross_cpu_slower_than_same_cpu() {
     };
     let same = run(1, false);
     let cross = run(2, true);
-    assert!(
-        cross > same * 1.5,
-        "cross-CPU ({cross} ns) must be well above same-CPU ({same} ns)"
-    );
+    assert!(cross > same * 1.5, "cross-CPU ({cross} ns) must be well above same-CPU ({same} ns)");
 }
 
 /// Two separate processes talk over a named socket; checks page-table

@@ -135,12 +135,7 @@ impl Memory {
 
     /// Translates `addr`, checking the conventional protection bit for
     /// `access`. Returns the PTE (including the CODOMs tag) on success.
-    pub fn translate(
-        &self,
-        pt: PageTableId,
-        addr: u64,
-        access: Access,
-    ) -> Result<Pte, MemFault> {
+    pub fn translate(&self, pt: PageTableId, addr: u64, access: Access) -> Result<Pte, MemFault> {
         let pte = self.tables[pt.0].lookup(addr).ok_or(MemFault::Unmapped { addr })?;
         if !pte.flags.contains(access.required_flag()) {
             return Err(MemFault::Protection { addr, access });
@@ -201,8 +196,7 @@ impl Memory {
             let mut done = 0usize;
             while done < buf.len() {
                 let a = addr + done as u64;
-                let pte =
-                    self.tables[pt.0].lookup(a).ok_or(MemFault::Unmapped { addr: a })?;
+                let pte = self.tables[pt.0].lookup(a).ok_or(MemFault::Unmapped { addr: a })?;
                 let off = page_offset(a);
                 let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
                 self.phys.read(pte.frame, off, &mut buf[done..done + n]);

@@ -117,9 +117,22 @@ fn emit_app(
     a.push(Instr::Jalr { rd: ZERO, rs1: RA, imm: 0 });
 }
 
-fn finish(sys: &mut System, tid: simkernel::Tid, iters: u64, size: u64) -> NetResult {
+fn finish(sys: &mut System, tid: simkernel::Tid, iters: u64, size: u64, label: &str) -> NetResult {
+    let t0 = sys.k.cpus[0].cpu.cycles;
     sys.run_to_completion();
     let cycles = sys.k.threads[&tid].exit_code;
+    if simtrace::enabled() {
+        let t1 = sys.k.cpus[0].cpu.cycles;
+        simtrace::begin_span(
+            simtrace::Track::Harness,
+            t0,
+            format!("netpipe {label} {size}B"),
+            "net",
+        );
+        simtrace::end_span(simtrace::Track::Harness, t1);
+        simtrace::counter("net_messages", iters);
+        simtrace::hist("net_rtt_cycles", cycles / iters.max(1));
+    }
     let rtt_ns = sys.k.cost.ns(cycles) / iters as f64;
     assert!(rtt_ns > 0.0, "netpipe produced no measurement");
     NetResult { rtt_ns, bandwidth_mbps: size.max(1) as f64 / rtt_ns * 1000.0 }
@@ -164,7 +177,7 @@ pub fn netpipe_rtt(iso: DriverIso, size: u64, iters: u64) -> NetResult {
             emit_driver(&mut a);
             let img = s.k.load_program(pid, &a.finish(), &ex);
             let tid = s.k.spawn_thread(pid, img.addr("main"), &[]);
-            finish(&mut s, tid, iters, size)
+            finish(&mut s, tid, iters, size, iso.label())
         }
         DriverIso::Dipc | DriverIso::DipcProc => {
             let cross = iso == DriverIso::DipcProc;
@@ -223,7 +236,7 @@ pub fn netpipe_rtt(iso: DriverIso, size: u64, iters: u64) -> NetResult {
             }
             w.link();
             let tid = w.spawn(if cross { "app" } else { drv_name }, "main", &[]);
-            finish(&mut w.sys, tid, iters, size)
+            finish(&mut w.sys, tid, iters, size, iso.label())
         }
         DriverIso::Pipe => netpipe_ipc(size, iters, wire_cycles, false),
         DriverIso::Sem => netpipe_ipc(size, iters, wire_cycles, true),
@@ -315,10 +328,7 @@ fn netpipe_ipc(size: u64, iters: u64, wire_cycles: u64, use_sem: bool) -> NetRes
     );
     let app_img = s.k.load_program(app, &app_prog, &app_ex);
     let mut drv_ex = HashMap::new();
-    drv_ex.insert(
-        "$data_nicq".to_string(),
-        s.k.alloc_mem(drv, simmem::PAGE_SIZE, PageFlags::RW),
-    );
+    drv_ex.insert("$data_nicq".to_string(), s.k.alloc_mem(drv, simmem::PAGE_SIZE, PageFlags::RW));
     let drv_img = s.k.load_program(drv, &drv_prog, &drv_ex);
     let app_tid = s.k.spawn_thread(app, app_img.addr("main"), &[]);
     let drv_tid = s.k.spawn_thread(drv, drv_img.addr("serve"), &[]);
@@ -326,8 +336,22 @@ fn netpipe_ipc(size: u64, iters: u64, wire_cycles: u64, use_sem: bool) -> NetRes
     s.k.pin_thread(drv_tid, 0);
 
     // Run until the app halts (the driver loops forever).
+    let t0 = s.k.cpus[0].cpu.cycles;
     s.run_until(|s| matches!(s.k.threads[&app_tid].state, simkernel::ThreadState::Dead));
     let cycles = s.k.threads[&app_tid].exit_code;
+    if simtrace::enabled() {
+        let t1 = s.k.cpus[0].cpu.cycles;
+        let label = if use_sem { "sem" } else { "pipe" };
+        simtrace::begin_span(
+            simtrace::Track::Harness,
+            t0,
+            format!("netpipe {label} {size}B"),
+            "net",
+        );
+        simtrace::end_span(simtrace::Track::Harness, t1);
+        simtrace::counter("net_messages", iters);
+        simtrace::hist("net_rtt_cycles", cycles / iters.max(1));
+    }
     let rtt_ns = s.k.cost.ns(cycles) / iters as f64;
     NetResult { rtt_ns, bandwidth_mbps: size.max(1) as f64 / rtt_ns * 1000.0 }
 }

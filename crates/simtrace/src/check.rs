@@ -1,0 +1,127 @@
+//! Structural validation of exported Chrome trace JSON, shared by the
+//! exporter unit tests and the workspace's end-to-end trace tests.
+//!
+//! This is not a general JSON parser: the exporter emits exactly one
+//! event object per line, so validation scans line-wise and checks the
+//! properties that matter — balanced `B`/`E` pairs and monotonically
+//! non-decreasing timestamps per track — while collecting the categories
+//! and tracks seen.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What [`validate_chrome_json`] found in a structurally valid trace.
+#[derive(Debug, Default)]
+pub struct TraceStats {
+    /// Event count excluding metadata (`ph:"M"`).
+    pub events: usize,
+    /// Distinct categories seen on events.
+    pub cats: BTreeSet<String>,
+    /// Distinct track (tid) values seen on non-metadata events.
+    pub tids: BTreeSet<u64>,
+    /// `B` events never closed by an `E` (0 in a well-formed trace).
+    pub unbalanced_begins: usize,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Validates the exporter's Chrome JSON. Returns aggregate stats, or a
+/// description of the first structural violation.
+pub fn validate_chrome_json(json: &str) -> Result<TraceStats, String> {
+    if !json.trim_start().starts_with('{') || !json.contains("\"traceEvents\"") {
+        return Err("not a traceEvents JSON object".into());
+    }
+    let mut stats = TraceStats::default();
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    for (n, line) in json.lines().enumerate() {
+        let line = line.trim().trim_start_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        // The JSON header/footer lines are not events.
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        if ph == "M" {
+            continue;
+        }
+        let tid: u64 = field(line, "tid")
+            .ok_or_else(|| format!("line {}: missing tid", n + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: bad tid", n + 1))?;
+        let ts: u64 = field(line, "ts")
+            .ok_or_else(|| format!("line {}: missing ts", n + 1))?
+            .parse()
+            .map_err(|_| format!("line {}: bad ts", n + 1))?;
+        if let Some(prev) = last_ts.get(&tid) {
+            if ts < *prev {
+                return Err(format!(
+                    "line {}: tid {tid} timestamp went backwards ({prev} -> {ts})",
+                    n + 1
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        stats.events += 1;
+        stats.tids.insert(tid);
+        if let Some(cat) = field(line, "cat") {
+            stats.cats.insert(cat.to_string());
+        }
+        match ph {
+            "B" => *depth.entry(tid).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                if *d < 0 {
+                    return Err(format!("line {}: E without matching B on tid {tid}", n + 1));
+                }
+            }
+            "X" | "i" => {}
+            other => return Err(format!("line {}: unexpected ph {other:?}", n + 1)),
+        }
+    }
+    stats.unbalanced_begins = depth.values().filter(|d| **d > 0).count();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_backwards_time() {
+        let bad = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"cat\":\"x\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":10,\"dur\":1},\n\
+            {\"name\":\"b\",\"cat\":\"x\",\"ph\":\"X\",\"pid\":0,\"tid\":1,\"ts\":5,\"dur\":1}\n\
+            ]}";
+        assert!(validate_chrome_json(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_unmatched_end() {
+        let bad = "{\"traceEvents\":[\n\
+            {\"ph\":\"E\",\"pid\":0,\"tid\":1,\"ts\":5}\n\
+            ]}";
+        assert!(validate_chrome_json(bad).is_err());
+    }
+
+    #[test]
+    fn counts_unbalanced_begins() {
+        let trace = "{\"traceEvents\":[\n\
+            {\"name\":\"a\",\"cat\":\"x\",\"ph\":\"B\",\"pid\":0,\"tid\":1,\"ts\":5}\n\
+            ]}";
+        let stats = validate_chrome_json(trace).unwrap();
+        assert_eq!(stats.unbalanced_begins, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Hand-rolled exporters: Chrome trace-event JSON (chrome://tracing /
+//! Perfetto), folded flamegraph stacks, and a plain-text metrics summary.
+//!
+//! No serde: the event model is small and fully known, so the JSON is
+//! emitted directly. Timestamps are simulated cycles (Perfetto will call
+//! them microseconds; only ratios matter for a deterministic simulator).
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::collector::{Collector, Ev, Track};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Tracks present in the event stream, in stable (tid) order.
+fn tracks(c: &Collector) -> Vec<Track> {
+    let mut by_tid: BTreeMap<u64, Track> = BTreeMap::new();
+    for ev in &c.events {
+        by_tid.insert(ev.track().tid(), ev.track());
+    }
+    by_tid.into_values().collect()
+}
+
+/// Chrome trace-event JSON (JSON-object format with `traceEvents`).
+pub(crate) fn chrome_json(c: &Collector) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"dipc-sim\"}}",
+    );
+    for t in tracks(c) {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            t.tid(),
+            esc(&t.label())
+        );
+    }
+    for ev in &c.events {
+        out.push_str(",\n");
+        match ev {
+            Ev::Begin { track, ts, name, cat } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"pid\":0,\
+                     \"tid\":{},\"ts\":{}}}",
+                    esc(name),
+                    cat,
+                    track.tid(),
+                    ts
+                );
+            }
+            Ev::End { track, ts } => {
+                let _ =
+                    write!(out, "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{}}}", track.tid(), ts);
+            }
+            Ev::Slice { track, ts, dur, name, cat } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":0,\
+                     \"tid\":{},\"ts\":{},\"dur\":{}}}",
+                    esc(name),
+                    cat,
+                    track.tid(),
+                    ts,
+                    dur
+                );
+            }
+            Ev::Instant { track, ts, name, cat } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"pid\":0,\"tid\":{},\"ts\":{}}}",
+                    esc(name),
+                    cat,
+                    track.tid(),
+                    ts
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Folded flamegraph stacks (`flamegraph.pl` / speedscope input): every
+/// attributed time slice is charged to `track;<open spans...>;<slice>`,
+/// so the flamegraph shows where simulated cycles went, shaped by the
+/// logical spans (syscalls, proxies, requests) that were open.
+pub(crate) fn folded_stacks(c: &Collector) -> String {
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut weights: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in &c.events {
+        let tid = ev.track().tid();
+        match ev {
+            Ev::Begin { name, .. } => {
+                stacks.entry(tid).or_default().push(name.replace([';', ' '], "_"));
+            }
+            Ev::End { .. } => {
+                stacks.entry(tid).or_default().pop();
+            }
+            Ev::Slice { track, dur, name, .. } => {
+                let mut frames = vec![track.label()];
+                frames.extend(stacks.entry(tid).or_default().iter().cloned());
+                frames.push(name.replace([';', ' '], "_"));
+                *weights.entry(frames.join(";")).or_insert(0) += dur;
+            }
+            Ev::Instant { .. } => {}
+        }
+    }
+    let mut out = String::new();
+    for (stack, w) in weights {
+        let _ = writeln!(out, "{stack} {w}");
+    }
+    out
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Plain-text metrics summary: counters, histogram percentiles, and
+/// per-category totals recomputed from the trace slices.
+pub(crate) fn text_summary(c: &Collector) -> String {
+    let mut out = String::new();
+    out.push_str("# simtrace summary (all times in simulated cycles)\n\n");
+
+    let mut per_cat: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut n_events = 0usize;
+    for ev in &c.events {
+        n_events += 1;
+        if let Ev::Slice { dur, name, .. } = ev {
+            *per_cat.entry(name).or_insert(0) += dur;
+        }
+    }
+    let _ = writeln!(out, "events: {n_events}");
+    let _ = writeln!(out, "tracks: {}", tracks(c).len());
+
+    out.push_str("\n## time attribution (sum over CPU tracks)\n");
+    let total: u64 = per_cat.values().sum();
+    for (name, cycles) in &per_cat {
+        let pct = if total == 0 { 0.0 } else { *cycles as f64 / total as f64 * 100.0 };
+        let _ = writeln!(out, "{name:<34} {cycles:>14}  {pct:5.1}%");
+    }
+    let _ = writeln!(out, "{:<34} {total:>14}", "total");
+
+    out.push_str("\n## counters\n");
+    if c.counters.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for (name, v) in &c.counters {
+        let _ = writeln!(out, "{name:<34} {v:>14}");
+    }
+
+    out.push_str("\n## histograms\n");
+    if c.hists.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for (name, samples) in &c.hists {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let sum: u64 = sorted.iter().sum();
+        let mean = sum as f64 / sorted.len().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "{name}: n={} min={} mean={mean:.0} p50={} p95={} p99={} max={}",
+            sorted.len(),
+            sorted.first().copied().unwrap_or(0),
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.95),
+            percentile(&sorted, 0.99),
+            sorted.last().copied().unwrap_or(0),
+        );
+    }
+    out
+}

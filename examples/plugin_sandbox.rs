@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p bench --example plugin_sandbox`
 
 use cdvm::isa::reg::*;
-use cdvm::{Asm, Instr};
+use cdvm::Instr;
 use dipc::{AppSpec, IsoProps, Signature, World, DIPC_ERR_FAULT};
 use simkernel::KernelConfig;
 
@@ -57,8 +57,13 @@ fn main() {
         a.push(Instr::Add { rd: A0, rs1: A0, rs2: S1 });
         a.push(Instr::Halt);
     })
-    .import_live("plugin", "render", Signature::regs(1, 1),
-        IsoProps::REG_INTEGRITY, &[S0, S1, S2, S3]);
+    .import_live(
+        "plugin",
+        "render",
+        Signature::regs(1, 1),
+        IsoProps::REG_INTEGRITY,
+        &[S0, S1, S2, S3],
+    );
     w.build(app);
     w.link();
 
@@ -71,9 +76,6 @@ fn main() {
     println!("8 render calls: {} succeeded, {} crashed & recovered", code / 100, code % 100);
     println!("KCS unwinds performed by the kernel: {}", w.sys.unwinds);
     let plugin_pid = w.app("plugin").pid;
-    println!(
-        "plugin process still alive after its crashes: {}",
-        w.sys.k.procs[&plugin_pid].alive
-    );
+    println!("plugin process still alive after its crashes: {}", w.sys.k.procs[&plugin_pid].alive);
     assert_eq!(code, 4 * 100 + 4);
 }

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p bench --example quickstart`
 
 use cdvm::isa::reg::*;
-use cdvm::{Asm, Instr};
+use cdvm::Instr;
 use dipc::{AppSpec, IsoProps, Signature, World};
 use simkernel::KernelConfig;
 

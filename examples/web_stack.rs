@@ -14,7 +14,10 @@ fn main() {
     let rl = linux_stack::build(&p).run(20, 150, conc);
     let rd = dipc_stack::build(&p).run(20, 150, conc);
     let ri = ideal_stack::build(&p).run(20, 150, conc);
-    println!("{:<16} {:>12} {:>10} {:>22}", "configuration", "ops/min", "latency", "user/kernel/idle");
+    println!(
+        "{:<16} {:>12} {:>10} {:>22}",
+        "configuration", "ops/min", "latency", "user/kernel/idle"
+    );
     for (name, r) in [("Linux (sockets)", &rl), ("dIPC (proxies)", &rd), ("Ideal (unsafe)", &ri)] {
         println!(
             "{name:<16} {:>12.0} {:>8.2}ms {:>8.0}%/{:>3.0}%/{:>3.0}%",

@@ -42,9 +42,7 @@ fn tab1_shape() {
     for a in [Arch::Conventional, Arch::Cheri, Arch::Mmp] {
         assert!(Arch::Codoms.switch_cost_ns(&c) < a.switch_cost_ns(&c));
     }
-    assert!(
-        Arch::Conventional.total_ns(&c, 1 << 16) > 10.0 * Arch::Codoms.total_ns(&c, 1 << 16)
-    );
+    assert!(Arch::Conventional.total_ns(&c, 1 << 16) > 10.0 * Arch::Codoms.total_ns(&c, 1 << 16));
 }
 
 /// Figure 5: the full latency ordering.

@@ -40,7 +40,7 @@ fn p1_no_access_without_grant() {
     let (mut w, secret) = victim_attacker(move |a, s| {
         a.li(T0, s);
         a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
-        let _ = secret_probe(s);
+        secret_probe(s);
     });
     let tid = w.spawn("attacker", "main", &[]);
     w.sys.run_to_completion();
@@ -66,10 +66,7 @@ fn p1_write_attempt_also_fails() {
     assert!(matches!(w.sys.k.threads[&tid].state, ThreadState::Dead));
     // The secret is intact.
     let secret = w.app("victim").data["secret"];
-    assert_eq!(
-        w.sys.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, secret).unwrap(),
-        0x5ec3e7
-    );
+    assert_eq!(w.sys.k.mem.kread_u64(simmem::Memory::GLOBAL_PT, secret).unwrap(), 0x5ec3e7);
 }
 
 #[test]

@@ -98,11 +98,8 @@ fn owner_destination_grants_write() {
 fn entry_register_validates_addresses() {
     let (mut s, a, _) = sys2();
     let own = s.dom_default(a);
-    let outside = EntryDesc {
-        address: 0xdead_0000,
-        signature: Signature::regs(0, 0),
-        policy: IsoProps::LOW,
-    };
+    let outside =
+        EntryDesc { address: 0xdead_0000, signature: Signature::regs(0, 0), policy: IsoProps::LOW };
     assert_eq!(s.entry_register(a, own, vec![outside]), Err(DipcError::BadEntryAddress));
 }
 
@@ -116,13 +113,11 @@ fn entry_request_enforces_signatures_and_returns_call_handle() {
         asm.push(cdvm::Instr::Halt);
         asm.finish().bytes
     });
-    let desc =
-        EntryDesc { address: code, signature: Signature::regs(2, 1), policy: IsoProps::LOW };
+    let desc = EntryDesc { address: code, signature: Signature::regs(2, 1), policy: IsoProps::LOW };
     let e = s.entry_register(a, own, vec![desc]).unwrap();
     let e_b = s.pass_handle(a, b, e).unwrap();
     // Mismatched signature (P4).
-    let bad =
-        EntryDesc { address: 0, signature: Signature::regs(1, 1), policy: IsoProps::LOW };
+    let bad = EntryDesc { address: 0, signature: Signature::regs(1, 1), policy: IsoProps::LOW };
     assert_eq!(s.entry_request(b, e_b, vec![bad]).unwrap_err(), DipcError::Signature);
     // Matching request: get a Call-permission proxy-domain handle.
     let good = EntryDesc { address: 0, signature: Signature::regs(2, 1), policy: IsoProps::LOW };
