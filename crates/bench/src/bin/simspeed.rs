@@ -1,0 +1,182 @@
+//! Host simulation speed: how many simulated instructions per host second
+//! the interpreter retires, with and without the fast-path caches (the
+//! decoded-instruction cache, the host translation cache and the slab frame
+//! store; disable at runtime with `CDVM_NO_FASTPATH=1`).
+//!
+//! Unlike every other binary here, this one measures *wall-clock* host
+//! performance, not simulated cycles — the simulated results are identical
+//! in both modes by construction (see `tests/fastpath_diff.rs`). Emits
+//! `results/BENCH_simspeed.json`.
+
+use std::time::Instant;
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, CostModel, Cpu, Instr, StepEvent};
+use codoms::apl::{Apl, Perm};
+use codoms::cap::RevocationTable;
+use simmem::{DomainTag, Memory, PageFlags};
+
+const CODE: u64 = 0x10_000;
+const DATA: u64 = 0x20_000;
+const CALLEE: u64 = 0x40_000;
+
+struct Workload {
+    name: &'static str,
+    desc: &'static str,
+    code: Vec<u8>,
+    callee: Option<Vec<u8>>,
+}
+
+fn workloads() -> Vec<Workload> {
+    // ALU-heavy spin loop: fetch/decode dominates.
+    let mut a = Asm::new();
+    a.li(T0, 0);
+    a.label("loop");
+    a.push(Instr::Addi { rd: T0, rs1: T0, imm: 1 });
+    a.push(Instr::Xor { rd: T1, rs1: T0, rs2: T0 });
+    a.push(Instr::Add { rd: T1, rs1: T1, rs2: T0 });
+    a.push(Instr::Sltu { rd: T2, rs1: T1, rs2: T0 });
+    a.j("loop");
+    let alu = a.finish().bytes;
+
+    // Load/store loop: exercises the data-side translation cache too.
+    let mut a = Asm::new();
+    a.li(T0, DATA);
+    a.label("loop");
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    a.push(Instr::Ld { rd: T1, rs1: T0, imm: 0 });
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: 512 });
+    a.push(Instr::Ld { rd: T2, rs1: T0, imm: 512 });
+    a.j("loop");
+    let mem = a.finish().bytes;
+
+    // Cross-domain call ping-pong: every iteration crosses domains twice,
+    // stressing the fetch path's crossing checks on cached pages.
+    let mut a = Asm::new();
+    a.li(T0, CALLEE);
+    a.label("loop");
+    a.call_reg(T0);
+    a.j("loop");
+    let xcall_caller = a.finish().bytes;
+    let mut a = Asm::new();
+    a.li(A0, 7);
+    a.ret();
+    let xcall_callee = a.finish().bytes;
+
+    vec![
+        Workload { name: "alu", desc: "register arithmetic spin loop", code: alu, callee: None },
+        Workload {
+            name: "mem",
+            desc: "load/store loop (checked data path)",
+            code: mem,
+            callee: None,
+        },
+        Workload {
+            name: "xcall",
+            desc: "cross-domain call ping-pong",
+            code: xcall_caller,
+            callee: Some(xcall_callee),
+        },
+    ]
+}
+
+/// Builds a fresh machine for `w` (fast-path mode is sampled at
+/// construction, so callers flip `simmem::set_fastpath` first).
+fn build(w: &Workload) -> (Memory, Cpu) {
+    let mut mem = Memory::new();
+    let pt = Memory::GLOBAL_PT;
+    mem.map_anon(pt, CODE, 4, PageFlags::RX, DomainTag(1));
+    mem.map_anon(pt, DATA, 4, PageFlags::RW, DomainTag(1));
+    mem.kwrite(pt, CODE, &w.code).unwrap();
+    let mut cpu = Cpu::new(0);
+    cpu.pc = CODE;
+    cpu.cur_dom = DomainTag(1);
+    cpu.thread = 1;
+    if let Some(callee) = &w.callee {
+        mem.map_anon(pt, CALLEE, 1, PageFlags::RX, DomainTag(2));
+        mem.kwrite(pt, CALLEE, callee).unwrap();
+        let mut apl1 = Apl::new();
+        apl1.set(DomainTag(2), Perm::Call);
+        cpu.apl_cache.fill(DomainTag(1), apl1);
+        let mut apl2 = Apl::new();
+        apl2.set(DomainTag(1), Perm::Read);
+        cpu.apl_cache.fill(DomainTag(2), apl2);
+    }
+    (mem, cpu)
+}
+
+/// Runs `w` for at least `target` retired instructions and returns host
+/// MIPS (million simulated instructions per host second).
+fn measure(w: &Workload, target: u64) -> f64 {
+    let (mut mem, mut cpu) = build(w);
+    let mut rev = RevocationTable::new();
+    let cost = CostModel::default();
+    // Warm up (fills caches, faults in frames) before the timed region.
+    cpu.run(&mut mem, &mut rev, &cost, cpu.cycles + 100_000);
+    let mut retired = 0u64;
+    let start = Instant::now();
+    while retired < target {
+        let exit = cpu.run(&mut mem, &mut rev, &cost, cpu.cycles + 1_000_000);
+        retired += exit.retired;
+        assert!(
+            matches!(exit.event, StepEvent::Retired),
+            "{}: unexpected exit {:?}",
+            w.name,
+            exit.event
+        );
+    }
+    let secs = start.elapsed().as_secs_f64();
+    retired as f64 / 1e6 / secs.max(1e-9)
+}
+
+fn main() {
+    bench::banner("simspeed - host simulation throughput (wall clock)");
+    let scale = bench::scale();
+    let target = 2_000_000 * scale;
+    let forced_off = !simmem::fastpath_enabled() && std::env::var("CDVM_NO_FASTPATH").is_ok();
+    if forced_off {
+        println!("note: CDVM_NO_FASTPATH is set; the \"fast\" column is also uncached");
+    }
+    println!(
+        "{:<8} {:<36} {:>10} {:>10} {:>8}",
+        "workload", "description", "slow MIPS", "fast MIPS", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for w in workloads() {
+        simmem::set_fastpath(Some(false));
+        let slow = measure(&w, target);
+        simmem::set_fastpath(if forced_off { Some(false) } else { Some(true) });
+        let fast = measure(&w, target);
+        simmem::set_fastpath(None);
+        let speedup = fast / slow;
+        println!("{:<8} {:<36} {:>10.2} {:>10.2} {:>7.2}x", w.name, w.desc, slow, fast, speedup);
+        rows.push((w.name, w.desc, slow, fast, speedup));
+    }
+
+    let geomean = rows.iter().map(|r| r.4.ln()).sum::<f64>() / rows.len() as f64;
+    let geomean = geomean.exp();
+    println!("geomean speedup: {geomean:.2}x (acceptance floor: 3.00x on at least one workload)");
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(name, desc, slow, fast, speedup)| {
+            format!(
+                "    {{\"workload\": \"{name}\", \"description\": \"{desc}\", \
+                 \"mips_slowpath\": {slow:.3}, \"mips_fastpath\": {fast:.3}, \
+                 \"speedup\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"simspeed\",\n  \"scale\": {scale},\n  \
+         \"target_instructions\": {target},\n  \"geomean_speedup\": {geomean:.3},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_simspeed.json", &json)
+        .expect("write results/BENCH_simspeed.json");
+    println!("wrote results/BENCH_simspeed.json");
+    bench::finish();
+}

@@ -16,10 +16,11 @@ use codoms::cap::{CapKind, Capability, RevocationTable, CAPABILITY_BYTES, CAP_RE
 use codoms::check::{CheckError, Checker};
 use codoms::dcs::{Dcs, DcsError};
 use codoms::{AplCache, Perm};
-use simmem::page::Access;
-use simmem::{DomainTag, MemFault, Memory, PageFlags, PageTableId, Tlb};
+use simmem::page::{page_align_down, page_offset, vpn, Access};
+use simmem::{DomainTag, MemFault, Memory, PageFlags, PageTableId, Pte, Tlb, PAGE_SIZE};
 
 use crate::cost::CostModel;
+use crate::icache::InstrCache;
 use crate::isa::{reg, Instr, INSTR_BYTES};
 use crate::stats::ExecStats;
 
@@ -132,6 +133,17 @@ pub struct Cpu {
     pub domain_crossings: u64,
     /// Flags of the page the PC is currently on (updated at fetch).
     cur_page_flags: PageFlags,
+    /// Cached `simtrace::enabled()`, sampled at construction and refreshed
+    /// at every [`Cpu::run`], so the untraced hot loop performs no atomic
+    /// check per instruction. Gates per-step trace events *and*
+    /// [`ExecStats`] recording.
+    instrument: bool,
+    /// Whether this CPU uses the decoded-instruction cache (sampled from
+    /// [`simmem::fastpath_enabled`] at construction).
+    fastpath: bool,
+    /// Per-page decoded-instruction cache (host fast path; see
+    /// [`crate::icache`]).
+    icache: InstrCache,
 }
 
 impl Cpu {
@@ -158,7 +170,23 @@ impl Cpu {
             exec_stats: ExecStats::new(),
             domain_crossings: 0,
             cur_page_flags: PageFlags::empty(),
+            instrument: simtrace::enabled(),
+            fastpath: simmem::fastpath_enabled(),
+            icache: InstrCache::new(),
         }
+    }
+
+    /// Re-samples the cached instrumentation flag from `simtrace::enabled()`.
+    /// [`Cpu::run`] does this automatically; call it manually when stepping a
+    /// CPU directly after arming/disarming the tracer.
+    #[inline]
+    pub fn refresh_instrumentation(&mut self) {
+        self.instrument = simtrace::enabled();
+    }
+
+    /// Host-side decoded-instruction-cache counters `(hits, fills)`.
+    pub fn icache_stats(&self) -> (u64, u64) {
+        self.icache.stats()
     }
 
     /// Reads a register (x0 reads as zero).
@@ -187,6 +215,7 @@ impl Cpu {
         cost: &CostModel,
         deadline: u64,
     ) -> RunExit {
+        self.refresh_instrumentation();
         let mut retired = 0;
         while self.cycles < deadline {
             match self.step(mem, rev, cost) {
@@ -205,10 +234,35 @@ impl Cpu {
         cost: &CostModel,
     ) -> StepEvent {
         // --- Fetch ---
+        // Fast path: serve the translation and the decoded instruction from
+        // the per-page cache. An entry is only served while the page table's
+        // generation and the global code epoch still match its fill-time
+        // values, so remaps/protects/re-tags and writes to executable pages
+        // all force the slow path below (which re-translates and re-decodes).
+        // Everything the simulation observes — iTLB accounting, domain-
+        // crossing checks, fault order — is identical on both paths.
         let pc = self.pc;
-        let pte = match mem.translate(self.active_pt, pc, Access::Exec) {
-            Ok(p) => p,
-            Err(f) => return self.fault(FaultKind::Mem(f)),
+        let aligned = page_offset(pc).is_multiple_of(INSTR_BYTES);
+        let cached: Option<(Pte, Option<Instr>)> = if self.fastpath && aligned {
+            self.icache.lookup(
+                self.active_pt,
+                vpn(pc),
+                (page_offset(pc) / INSTR_BYTES) as usize,
+                mem.table_generation(self.active_pt),
+                mem.code_epoch(),
+            )
+        } else {
+            None
+        };
+        let (pte, cached_instr) = match cached {
+            Some((pte, mi)) => (pte, mi),
+            None => {
+                let pte = match mem.translate(self.active_pt, pc, Access::Exec) {
+                    Ok(p) => p,
+                    Err(f) => return self.fault(FaultKind::Mem(f)),
+                };
+                (pte, None)
+            }
         };
         if !self.itlb.access(self.active_pt, pc) {
             self.cycles += cost.tlb_miss;
@@ -227,7 +281,7 @@ impl Cpu {
                 Ok(_) => {
                     self.cur_dom = pte.tag;
                     self.domain_crossings += 1;
-                    if simtrace::enabled() {
+                    if self.instrument {
                         simtrace::counter("apl_hit", 1);
                         simtrace::domain_crossing(self.index, pc, self.cycles);
                     }
@@ -240,13 +294,43 @@ impl Cpu {
         }
         self.cur_page_flags = pte.flags;
 
-        let mut bytes = [0u8; 8];
-        if mem.kread(self.active_pt, pc, &mut bytes).is_err() {
-            return self.fault(FaultKind::Mem(MemFault::Unmapped { addr: pc }));
-        }
-        let instr = match Instr::decode(&bytes) {
+        let instr = match cached_instr {
             Some(i) => i,
-            None => return self.fault(FaultKind::BadInstr(bytes[0])),
+            None => {
+                // A misaligned PC can make the 8-byte fetch spill into the
+                // next page; that page must be executable and belong to the
+                // same domain (the crossing check above only covered the
+                // first page).
+                if page_offset(pc) > PAGE_SIZE - INSTR_BYTES {
+                    let next_page = page_align_down(pc) + PAGE_SIZE;
+                    let pte2 = match mem.translate(self.active_pt, next_page, Access::Exec) {
+                        Ok(p) => p,
+                        Err(f) => return self.fault(FaultKind::Mem(f)),
+                    };
+                    if !self.kernel_mode && pte2.tag != pte.tag {
+                        return self.fault(FaultKind::Codoms(CheckError::Denied {
+                            from: self.cur_dom,
+                            to: pte2.tag,
+                            addr: next_page,
+                        }));
+                    }
+                }
+                let mut bytes = [0u8; 8];
+                if mem.kread(self.active_pt, pc, &mut bytes).is_err() {
+                    return self.fault(FaultKind::Mem(MemFault::Unmapped { addr: pc }));
+                }
+                match Instr::decode(&bytes) {
+                    Some(i) => {
+                        // Decodable aligned fetch on a translated page:
+                        // predecode the whole page for subsequent fetches.
+                        if self.fastpath && aligned {
+                            self.fill_icache(mem, pte, pc);
+                        }
+                        i
+                    }
+                    None => return self.fault(FaultKind::BadInstr(bytes[0])),
+                }
+            }
         };
 
         // --- Privilege check ---
@@ -261,7 +345,9 @@ impl Cpu {
         let ev = self.execute(instr, mem, rev, cost);
         if matches!(ev, StepEvent::Retired | StepEvent::Ecall | StepEvent::Halt) {
             self.retired += 1;
-            self.exec_stats.record(&instr);
+            if self.instrument {
+                self.exec_stats.record(&instr);
+            }
             self.regs[0] = 0;
         }
         ev
@@ -270,6 +356,25 @@ impl Cpu {
     #[inline]
     fn fault(&self, kind: FaultKind) -> StepEvent {
         StepEvent::Fault(Fault { pc: self.pc, kind })
+    }
+
+    /// Predecodes the page under `pc` into the instruction cache and marks
+    /// its frame as code so later writes to it bump the global code epoch.
+    /// (`mark_code` itself does not bump the epoch, so the snapshot taken
+    /// here stays valid until the frame is actually written or freed.)
+    fn fill_icache(&mut self, mem: &mut Memory, pte: Pte, pc: u64) {
+        let pt = self.active_pt;
+        let table_gen = mem.table_generation(pt);
+        let code_epoch = mem.code_epoch();
+        self.icache.fill(
+            pt,
+            vpn(pc),
+            table_gen,
+            code_epoch,
+            pte,
+            mem.phys().frame_bytes(pte.frame),
+        );
+        mem.phys_mut().mark_code(pte.frame);
     }
 
     fn execute(
@@ -377,7 +482,9 @@ impl Cpu {
                     mem.kread(self.active_pt, src, &mut buf).expect("checked");
                     mem.kwrite(self.active_pt, dst, &buf).expect("checked");
                     self.cycles += cost.copy_cycles(len);
-                    simtrace::counter("bytes_copied_user", len);
+                    if self.instrument {
+                        simtrace::counter("bytes_copied_user", len);
+                    }
                 }
             }
             MemSet { rd, rs1, rs2 } => {
@@ -512,7 +619,7 @@ impl Cpu {
             }
             CapPush { crs } => {
                 self.cycles += cost.cap_op + cost.mem;
-                if simtrace::enabled() {
+                if self.instrument {
                     simtrace::counter("kcs_pushes", 1);
                     simtrace::instant(
                         simtrace::Track::Cpu(self.index),
@@ -546,7 +653,7 @@ impl Cpu {
             }
             CapPop { crd } => {
                 self.cycles += cost.cap_op + cost.mem;
-                if simtrace::enabled() {
+                if self.instrument {
                     simtrace::counter("kcs_pops", 1);
                     simtrace::instant(
                         simtrace::Track::Cpu(self.index),

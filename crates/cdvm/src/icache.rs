@@ -1,0 +1,168 @@
+//! Per-page decoded-instruction cache — the host-side fast path of the
+//! fetch/decode stage.
+//!
+//! The interpreter's hot loop decodes the same 8-byte instructions over and
+//! over. This cache predecodes a whole code page the first time the CPU
+//! fetches from it and serves `(Pte, Instr)` pairs out of a direct-mapped
+//! array afterwards, keyed on `(page table, vpn)`. It is the software
+//! analogue of the predecoded I-cache/TLB structures CODOMs itself leans on
+//! (§4.1–§4.2): purely a host optimisation, with no effect on simulated
+//! cycles, TLB accounting or fault behaviour.
+//!
+//! # Invalidation
+//!
+//! An entry records two version numbers at fill time and is only served
+//! while both still match:
+//!
+//! * the owning page table's mutation **generation**
+//!   ([`simmem::PageTable::generation`]) — bumped by every `map`, `unmap`,
+//!   `protect` and `set_tag`, so remapped, re-protected or re-tagged code
+//!   re-decodes (and re-translates);
+//! * the global **code epoch** ([`simmem::Memory::code_epoch`]) — bumped by
+//!   any write to a frame that has ever been predecoded (the fill marks the
+//!   frame via `PhysMem::mark_code`), so self-modifying and runtime-patched
+//!   code re-decodes.
+//!
+//! There is no explicit shootdown anywhere: staleness is detected at use.
+
+use simmem::{PageTableId, Pte, PAGE_SIZE};
+
+use crate::isa::{Instr, INSTR_BYTES};
+
+/// Instruction slots per 4 KiB page.
+pub const SLOTS_PER_PAGE: usize = (PAGE_SIZE / INSTR_BYTES) as usize;
+
+/// Number of direct-mapped page entries.
+const ENTRIES: usize = 128;
+
+/// One predecoded code page.
+struct DecodedPage {
+    pt: PageTableId,
+    vpn: u64,
+    table_gen: u64,
+    code_epoch: u64,
+    /// The page's translation at fill time (validated EXEC then; the
+    /// generation match proves it is still current).
+    pte: Pte,
+    /// Decoded instructions; `None` where the bytes do not decode (the
+    /// fetch falls back to the slow path to raise the exact fault).
+    instrs: Box<[Option<Instr>; SLOTS_PER_PAGE]>,
+}
+
+/// Direct-mapped cache of predecoded code pages.
+pub struct InstrCache {
+    entries: Vec<Option<DecodedPage>>,
+    hits: u64,
+    fills: u64,
+}
+
+impl Default for InstrCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InstrCache {
+    /// Creates an empty cache.
+    pub fn new() -> InstrCache {
+        InstrCache { entries: (0..ENTRIES).map(|_| None).collect(), hits: 0, fills: 0 }
+    }
+
+    #[inline]
+    fn index(pt: PageTableId, vpn: u64) -> usize {
+        (vpn as usize ^ pt.0.wrapping_mul(0x9e37_79b9)) & (ENTRIES - 1)
+    }
+
+    /// Looks up the instruction at `slot` of page `(pt, vpn)`. Returns the
+    /// page's cached translation and the decoded slot if the entry is
+    /// present *and* still valid against the current table generation and
+    /// code epoch. An inner `None` means the slot's bytes do not decode.
+    #[inline]
+    pub fn lookup(
+        &mut self,
+        pt: PageTableId,
+        vpn: u64,
+        slot: usize,
+        table_gen: u64,
+        code_epoch: u64,
+    ) -> Option<(Pte, Option<Instr>)> {
+        let e = self.entries[Self::index(pt, vpn)].as_ref()?;
+        if e.pt == pt && e.vpn == vpn && e.table_gen == table_gen && e.code_epoch == code_epoch {
+            self.hits += 1;
+            Some((e.pte, e.instrs[slot]))
+        } else {
+            None
+        }
+    }
+
+    /// Predecodes `bytes` (one whole page) and installs the entry.
+    pub fn fill(
+        &mut self,
+        pt: PageTableId,
+        vpn: u64,
+        table_gen: u64,
+        code_epoch: u64,
+        pte: Pte,
+        bytes: &[u8],
+    ) {
+        debug_assert_eq!(bytes.len(), PAGE_SIZE as usize);
+        let mut instrs = Box::new([None; SLOTS_PER_PAGE]);
+        for (k, chunk) in bytes.chunks_exact(INSTR_BYTES as usize).enumerate() {
+            let raw: &[u8; 8] = chunk.try_into().expect("chunks_exact(8)");
+            instrs[k] = Instr::decode(raw);
+        }
+        self.fills += 1;
+        self.entries[Self::index(pt, vpn)] =
+            Some(DecodedPage { pt, vpn, table_gen, code_epoch, pte, instrs });
+    }
+
+    /// `(hits, fills)` — host-side telemetry for `simspeed`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.fills)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{DomainTag, FrameId, PageFlags};
+
+    fn pte() -> Pte {
+        Pte { frame: FrameId(1), flags: PageFlags::RX, tag: DomainTag(1) }
+    }
+
+    fn page_with(i: Instr) -> Vec<u8> {
+        let mut bytes = vec![0u8; PAGE_SIZE as usize];
+        bytes[..8].copy_from_slice(&i.encode());
+        bytes[8..16].copy_from_slice(&[0xff; 8]); // slot 1: undecodable
+        bytes
+    }
+
+    #[test]
+    fn fill_then_hit_and_undecodable_slot() {
+        let mut c = InstrCache::new();
+        let pt = PageTableId(0);
+        let i = Instr::Movi { rd: 5, imm: 42 };
+        c.fill(pt, 3, 7, 0, pte(), &page_with(i));
+        let (p, got) = c.lookup(pt, 3, 0, 7, 0).expect("valid entry");
+        assert_eq!(p, pte());
+        assert_eq!(got, Some(i));
+        // Slot 1 holds bytes that do not decode.
+        let (_, got) = c.lookup(pt, 3, 1, 7, 0).expect("valid entry");
+        assert_eq!(got, None);
+        // Trailing zeroed slots decode as Nop.
+        let (_, got) = c.lookup(pt, 3, SLOTS_PER_PAGE - 1, 7, 0).expect("valid entry");
+        assert_eq!(got, Some(Instr::Nop));
+    }
+
+    #[test]
+    fn stale_generation_or_epoch_misses() {
+        let mut c = InstrCache::new();
+        let pt = PageTableId(0);
+        c.fill(pt, 3, 7, 2, pte(), &page_with(Instr::Nop));
+        assert!(c.lookup(pt, 3, 0, 8, 2).is_none(), "stale table generation");
+        assert!(c.lookup(pt, 3, 0, 7, 3).is_none(), "stale code epoch");
+        assert!(c.lookup(pt, 3, 0, 7, 2).is_some());
+        assert!(c.lookup(PageTableId(1), 3, 0, 7, 2).is_none(), "other table");
+    }
+}

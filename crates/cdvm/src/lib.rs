@@ -18,16 +18,20 @@
 //! * [`cpu`] — the executor: per-CPU architectural state (GPRs, capability
 //!   registers, DCS bounds, APL cache, TLBs) and the fetch/check/execute
 //!   loop.
+//! * [`icache`] — the host-side per-page decoded-instruction cache behind
+//!   the fetch fast path (disable with `CDVM_NO_FASTPATH=1`).
 
 pub mod asm;
 pub mod cost;
 pub mod cpu;
 pub mod disasm;
+pub mod icache;
 pub mod isa;
 pub mod stats;
 
 pub use asm::{Asm, Reloc, RelocKind};
 pub use cost::{CostModel, MachineConfig};
 pub use cpu::{Cpu, Fault, FaultKind, RunExit, StepEvent};
+pub use icache::InstrCache;
 pub use isa::{reg, CapReg, Instr, Reg, INSTR_BYTES};
 pub use stats::{ExecStats, InstrClass, TraceRing};

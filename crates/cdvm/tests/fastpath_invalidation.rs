@@ -1,0 +1,219 @@
+//! Invalidation correctness for the fetch fast path: after the decoded
+//! instruction cache has been warmed, every kind of mapping or content
+//! mutation must be visible to the very next fetch. Each test warms the
+//! cache by running a program, mutates state mid-run, and asserts the CPU
+//! behaves as if no cache existed.
+//!
+//! The tests pass identically with `CDVM_NO_FASTPATH=1` (the caches are
+//! bypassed but the observable behavior is the same by design).
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, CostModel, Cpu, FaultKind, Instr, StepEvent};
+use codoms::apl::Apl;
+use codoms::cap::RevocationTable;
+use simmem::{DomainTag, MemFault, Memory, PageFlags, PAGE_SIZE};
+
+const CODE: u64 = 0x10_000;
+
+struct Env {
+    mem: Memory,
+    cpu: Cpu,
+    rev: RevocationTable,
+    cost: CostModel,
+}
+
+impl Env {
+    fn new(code: &[u8]) -> Env {
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE, code).unwrap();
+        let mut cpu = Cpu::new(0);
+        cpu.pc = CODE;
+        cpu.cur_dom = DomainTag(1);
+        cpu.thread = 1;
+        Env { mem, cpu, rev: RevocationTable::new(), cost: CostModel::default() }
+    }
+
+    fn run(&mut self) -> StepEvent {
+        loop {
+            match self.cpu.step(&mut self.mem, &mut self.rev, &self.cost) {
+                StepEvent::Retired => continue,
+                ev => return ev,
+            }
+        }
+    }
+
+    /// Asserts the decoded-page cache actually served hits (only meaningful
+    /// when the fast path is on; a no-op under `CDVM_NO_FASTPATH=1`).
+    fn assert_icache_used(&self) {
+        if simmem::fastpath_enabled() {
+            let (hits, fills) = self.cpu.icache_stats();
+            assert!(fills > 0, "expected at least one icache fill");
+            assert!(hits > 0, "expected icache hits, got fills={fills}");
+        }
+    }
+}
+
+fn program(value: i32) -> Vec<u8> {
+    let mut a = Asm::new();
+    a.push(Instr::Movi { rd: A0, imm: value });
+    // A few extra retired instructions so the warmed page gets real hits.
+    for _ in 0..8 {
+        a.push(Instr::Nop);
+    }
+    a.push(Instr::Halt);
+    a.finish().bytes
+}
+
+#[test]
+fn write_to_exec_page_is_seen_by_next_fetch() {
+    // Self-modifying code: dIPC patches proxy templates at runtime (§6.1.1),
+    // so a store to an already-executed page must invalidate its decoded
+    // block via the code epoch.
+    let mut env = Env::new(&program(1));
+    assert_eq!(env.run(), StepEvent::Halt);
+    assert_eq!(env.cpu.reg(A0), 1);
+    env.assert_icache_used();
+
+    env.mem.kwrite(Memory::GLOBAL_PT, CODE, &program(2)).unwrap();
+    env.cpu.pc = CODE;
+    assert_eq!(env.run(), StepEvent::Halt);
+    assert_eq!(env.cpu.reg(A0), 2, "stale decoded block served after code write");
+}
+
+#[test]
+fn remap_mid_run_swaps_the_code_page() {
+    // Unmap + remap puts a different frame under the same vpn; the table
+    // generation bump must invalidate both the translation and the decoded
+    // block.
+    let mut env = Env::new(&program(1));
+    assert_eq!(env.run(), StepEvent::Halt);
+    env.assert_icache_used();
+
+    env.mem.unmap(Memory::GLOBAL_PT, CODE, 1);
+    env.mem.map_anon(Memory::GLOBAL_PT, CODE, 1, PageFlags::RX, DomainTag(1));
+    env.mem.kwrite(Memory::GLOBAL_PT, CODE, &program(3)).unwrap();
+    env.cpu.pc = CODE;
+    assert_eq!(env.run(), StepEvent::Halt);
+    assert_eq!(env.cpu.reg(A0), 3, "stale decoded block served after remap");
+}
+
+#[test]
+fn recycled_frame_does_not_serve_stale_code() {
+    // Freeing the code frame and reallocating (the slab recycles frame
+    // numbers) must not resurrect the old decoded block.
+    let mut env = Env::new(&program(1));
+    assert_eq!(env.run(), StepEvent::Halt);
+
+    env.mem.unmap(Memory::GLOBAL_PT, CODE, 1);
+    // The very next alloc reuses the freed frame number.
+    env.mem.map_anon(Memory::GLOBAL_PT, CODE, 1, PageFlags::RX, DomainTag(1));
+    env.mem.kwrite(Memory::GLOBAL_PT, CODE, &program(4)).unwrap();
+    env.cpu.pc = CODE;
+    assert_eq!(env.run(), StepEvent::Halt);
+    assert_eq!(env.cpu.reg(A0), 4);
+}
+
+#[test]
+fn protect_removes_exec_from_cached_page() {
+    let mut env = Env::new(&program(1));
+    assert_eq!(env.run(), StepEvent::Halt);
+    env.assert_icache_used();
+
+    env.mem.table_mut(Memory::GLOBAL_PT).protect(CODE, PageFlags::READ);
+    env.cpu.pc = CODE;
+    match env.run() {
+        StepEvent::Fault(f) => {
+            assert_eq!(f.pc, CODE);
+            assert!(
+                matches!(f.kind, FaultKind::Mem(MemFault::Protection { .. })),
+                "expected protection fault, got {:?}",
+                f.kind
+            );
+        }
+        ev => panic!("cached translation bypassed protect: {ev:?}"),
+    }
+}
+
+#[test]
+fn set_tag_on_cached_page_triggers_domain_check() {
+    // Re-tagging the code page mid-run (dom_remap, Table 2) turns the next
+    // fetch into a domain crossing, which an empty APL must deny. A stale
+    // cached Pte would skip the check entirely.
+    let mut env = Env::new(&program(1));
+    env.cpu.apl_cache.fill(DomainTag(1), Apl::new());
+    assert_eq!(env.run(), StepEvent::Halt);
+    env.assert_icache_used();
+
+    env.mem.table_mut(Memory::GLOBAL_PT).set_tag(CODE, DomainTag(2));
+    env.cpu.pc = CODE;
+    match env.run() {
+        StepEvent::Fault(f) => {
+            assert!(
+                matches!(f.kind, FaultKind::Codoms(_)),
+                "expected CODOMs denial after re-tag, got {:?}",
+                f.kind
+            );
+        }
+        StepEvent::AplMiss(tag) => assert_eq!(tag, DomainTag(1)),
+        ev => panic!("cached tag bypassed the crossing check: {ev:?}"),
+    }
+}
+
+#[test]
+fn undecodable_slot_faults_with_exact_byte_on_hot_page() {
+    // A page that is cached but holds garbage at one slot must raise the
+    // same BadInstr fault (carrying the first raw byte) as the slow path.
+    let mut a = Asm::new();
+    a.push(Instr::Movi { rd: A0, imm: 7 });
+    a.push(Instr::Halt);
+    let mut bytes = a.finish().bytes;
+    bytes.extend_from_slice(&[0xee; 8]); // undecodable slot 2
+    let mut env = Env::new(&bytes);
+    assert_eq!(env.run(), StepEvent::Halt);
+
+    // Jump straight at the garbage slot on the now-cached page.
+    env.cpu.pc = CODE + 16;
+    match env.run() {
+        StepEvent::Fault(f) => {
+            assert_eq!(f.pc, CODE + 16);
+            assert_eq!(f.kind, FaultKind::BadInstr(0xee));
+        }
+        ev => panic!("expected BadInstr, got {ev:?}"),
+    }
+}
+
+#[test]
+fn misaligned_fetch_cannot_spill_into_unmapped_page() {
+    // An 8-byte fetch starting 4 bytes before the end of the last mapped
+    // page would read into the unmapped neighbour; it must fault cleanly.
+    let mut env = Env::new(&program(1));
+    env.cpu.pc = CODE + PAGE_SIZE - 4;
+    match env.run() {
+        StepEvent::Fault(f) => {
+            assert!(matches!(f.kind, FaultKind::Mem(MemFault::Unmapped { .. })));
+        }
+        ev => panic!("expected unmapped fault, got {ev:?}"),
+    }
+}
+
+#[test]
+fn misaligned_fetch_cannot_spill_into_foreign_domain() {
+    // Same, but the neighbour page is mapped executable under another
+    // domain: the straddling fetch is a hidden crossing and must be denied.
+    let mut env = Env::new(&program(1));
+    env.mem.map_anon(Memory::GLOBAL_PT, CODE + PAGE_SIZE, 1, PageFlags::RX, DomainTag(2));
+    env.cpu.apl_cache.fill(DomainTag(1), Apl::new());
+    env.cpu.pc = CODE + PAGE_SIZE - 4;
+    match env.run() {
+        StepEvent::Fault(f) => {
+            assert!(
+                matches!(f.kind, FaultKind::Codoms(_)),
+                "straddling fetch must be checked, got {:?}",
+                f.kind
+            );
+        }
+        ev => panic!("expected CODOMs fault, got {ev:?}"),
+    }
+}

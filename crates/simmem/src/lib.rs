@@ -14,12 +14,17 @@
 //!   reservations with per-block suballocation), plus a conventional
 //!   per-process layout helper for non-dIPC processes.
 //! * [`mem`] — the [`mem::Memory`] façade combining physical memory and a set
-//!   of page tables, which the VM and kernel use for all accesses.
+//!   of page tables, which the VM and kernel use for all accesses. It fronts
+//!   the page tables with a host-side translation cache (a pure host-speed
+//!   optimisation, invisible to the simulation).
+//! * [`fastpath`] — the process-wide `CDVM_NO_FASTPATH` switch controlling
+//!   the host-side caches here and in `cdvm`.
 //!
 //! The design follows the paper's §6.1.3: dIPC-enabled processes share a
 //! single page table within a global virtual address space, while regular
 //! processes keep private page tables.
 
+pub mod fastpath;
 pub mod mem;
 pub mod page;
 pub mod pagetable;
@@ -27,6 +32,7 @@ pub mod phys;
 pub mod tlb;
 pub mod vas;
 
+pub use fastpath::{fastpath_enabled, set_fastpath};
 pub use mem::{MemFault, Memory};
 pub use page::{DomainTag, PageFlags, PAGE_SHIFT, PAGE_SIZE};
 pub use pagetable::{PageTable, PageTableId, Pte};

@@ -5,6 +5,24 @@
 //! capability checks are layered on top by the `cdvm` crate (which first asks
 //! [`Memory::translate`] for the target page's [`Pte`], consults the CODOMs
 //! checker, and then performs the access).
+//!
+//! # Host translation cache
+//!
+//! Every simulated access walks a `HashMap`-backed page table. That walk is
+//! the single hottest operation in the whole simulator, so [`Memory`] keeps a
+//! small direct-mapped *host* translation cache of `(page table, vpn) → Pte`
+//! in front of it. Entries carry the owning table's mutation generation and
+//! are only served while the generation still matches, so any `map`, `unmap`,
+//! `protect` or `set_tag` implicitly invalidates them — there is no explicit
+//! shootdown to forget.
+//!
+//! The cache is invisible to the simulation: it is *not* the simulated
+//! [`crate::Tlb`] (whose hit/miss cycle accounting is charged by the VM and
+//! must not change), it only removes host-side hash lookups. Setting
+//! `CDVM_NO_FASTPATH=1` (see [`crate::fastpath`]) disables it, which the
+//! differential tests use to prove cycle/fault equivalence.
+
+use core::cell::Cell;
 
 use crate::page::{page_offset, Access, DomainTag, PageFlags, PAGE_SIZE};
 use crate::pagetable::{PageTable, PageTableId, Pte};
@@ -49,10 +67,35 @@ impl core::fmt::Display for MemFault {
 
 impl std::error::Error for MemFault {}
 
+/// Number of slots in the direct-mapped host translation cache.
+const TCACHE_SLOTS: usize = 1024;
+
+/// One host-translation-cache entry. `pt == usize::MAX` marks an empty slot.
+#[derive(Clone, Copy)]
+struct TransEntry {
+    pt: usize,
+    vpn: u64,
+    gen: u64,
+    pte: Pte,
+}
+
+impl TransEntry {
+    const EMPTY: TransEntry = TransEntry {
+        pt: usize::MAX,
+        vpn: 0,
+        gen: 0,
+        pte: Pte { frame: FrameId(0), flags: PageFlags::NONE, tag: DomainTag(0) },
+    };
+}
+
 /// Physical memory plus the set of page tables in the machine.
 pub struct Memory {
     phys: PhysMem,
     tables: Vec<PageTable>,
+    /// Host translation cache; `Cell` because lookups happen on `&self`
+    /// read paths. Never consulted when `fastpath` is off.
+    tcache: Box<[Cell<TransEntry>]>,
+    fastpath: bool,
 }
 
 impl Default for Memory {
@@ -67,7 +110,12 @@ impl Memory {
     /// Page table 0 is, by convention, the shared global page table of all
     /// dIPC-enabled processes and the kernel (§6.1.3).
     pub fn new() -> Memory {
-        Memory { phys: PhysMem::new(), tables: vec![PageTable::new()] }
+        Memory {
+            phys: PhysMem::new(),
+            tables: vec![PageTable::new()],
+            tcache: vec![Cell::new(TransEntry::EMPTY); TCACHE_SLOTS].into_boxed_slice(),
+            fastpath: crate::fastpath::fastpath_enabled(),
+        }
     }
 
     /// The shared global page table id.
@@ -84,12 +132,43 @@ impl Memory {
         &mut self.phys
     }
 
+    /// Read-only view of the physical memory pool.
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// Monotonic counter bumped whenever a code-marked frame's bytes may
+    /// have changed (see [`PhysMem::code_epoch`]). Decoded-instruction
+    /// caches validate against it.
+    #[inline]
+    pub fn code_epoch(&self) -> u64 {
+        self.phys.code_epoch()
+    }
+
+    /// The mutation generation of page table `pt` (see
+    /// [`PageTable::generation`]). Together with [`Memory::code_epoch`] this
+    /// is the whole invalidation protocol of the host-side caches.
+    #[inline]
+    pub fn table_generation(&self, pt: PageTableId) -> u64 {
+        self.tables[pt.0].generation()
+    }
+
+    /// True if this memory consults its host translation cache.
+    #[inline]
+    pub fn fastpath(&self) -> bool {
+        self.fastpath
+    }
+
     /// Returns a page table by id.
     pub fn table(&self, id: PageTableId) -> &PageTable {
         &self.tables[id.0]
     }
 
     /// Returns a mutable page table by id.
+    ///
+    /// Direct edits are safe with respect to the host caches: every
+    /// [`PageTable`] mutation bumps its generation, which the caches
+    /// validate on each lookup.
     pub fn table_mut(&mut self, id: PageTableId) -> &mut PageTable {
         &mut self.tables[id.0]
     }
@@ -133,10 +212,31 @@ impl Memory {
         self.tables[pt.0].map(base, Pte { frame, flags, tag });
     }
 
+    /// Looks up the PTE for `addr` without any protection check, going
+    /// through the host translation cache when enabled.
+    #[inline]
+    fn lookup_cached(&self, pt: PageTableId, addr: u64) -> Option<Pte> {
+        let table = &self.tables[pt.0];
+        if !self.fastpath {
+            return table.lookup(addr);
+        }
+        let vpn = crate::page::vpn(addr);
+        let gen = table.generation();
+        let idx = (vpn as usize ^ pt.0.wrapping_mul(0x9e37_79b9)) & (TCACHE_SLOTS - 1);
+        let e = self.tcache[idx].get();
+        if e.pt == pt.0 && e.vpn == vpn && e.gen == gen {
+            return Some(e.pte);
+        }
+        let pte = table.lookup(addr)?;
+        self.tcache[idx].set(TransEntry { pt: pt.0, vpn, gen, pte });
+        Some(pte)
+    }
+
     /// Translates `addr`, checking the conventional protection bit for
     /// `access`. Returns the PTE (including the CODOMs tag) on success.
+    #[inline]
     pub fn translate(&self, pt: PageTableId, addr: u64, access: Access) -> Result<Pte, MemFault> {
-        let pte = self.tables[pt.0].lookup(addr).ok_or(MemFault::Unmapped { addr })?;
+        let pte = self.lookup_cached(pt, addr).ok_or(MemFault::Unmapped { addr })?;
         if !pte.flags.contains(access.required_flag()) {
             return Err(MemFault::Protection { addr, access });
         }
@@ -146,6 +246,12 @@ impl Memory {
     /// Reads `buf.len()` bytes at `addr`, honoring protection bits. Reads may
     /// cross page boundaries.
     pub fn read(&self, pt: PageTableId, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        // Within-page fast path: one translation, one slice copy.
+        if !buf.is_empty() && page_offset(addr) as usize + buf.len() <= PAGE_SIZE as usize {
+            let pte = self.translate(pt, addr, Access::Read)?;
+            self.phys.read(pte.frame, page_offset(addr), buf);
+            return Ok(());
+        }
         self.walk(pt, addr, buf.len(), Access::Read, |phys, frame, off, range| {
             phys.read(frame, off, &mut buf[range]);
         })
@@ -153,6 +259,11 @@ impl Memory {
 
     /// Writes `buf` at `addr`, honoring protection bits.
     pub fn write(&mut self, pt: PageTableId, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        if !buf.is_empty() && page_offset(addr) as usize + buf.len() <= PAGE_SIZE as usize {
+            let pte = self.translate(pt, addr, Access::Write)?;
+            self.phys.write(pte.frame, page_offset(addr), buf);
+            return Ok(());
+        }
         // Validate all pages first so a faulting write is all-or-nothing.
         let mut checked = 0usize;
         while checked < buf.len() {
@@ -163,7 +274,7 @@ impl Memory {
         let mut done = 0usize;
         while done < buf.len() {
             let a = addr + done as u64;
-            let pte = self.tables[pt.0].lookup(a).expect("validated above");
+            let pte = self.lookup_cached(pt, a).expect("validated above");
             let off = page_offset(a);
             let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
             self.phys.write(pte.frame, off, &buf[done..done + n]);
@@ -174,6 +285,10 @@ impl Memory {
 
     /// Reads a little-endian u64.
     pub fn read_u64(&self, pt: PageTableId, addr: u64) -> Result<u64, MemFault> {
+        if page_offset(addr) + 8 <= PAGE_SIZE {
+            let pte = self.translate(pt, addr, Access::Read)?;
+            return Ok(self.phys.read_u64(pte.frame, page_offset(addr)));
+        }
         let mut b = [0u8; 8];
         self.read(pt, addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
@@ -181,44 +296,53 @@ impl Memory {
 
     /// Writes a little-endian u64.
     pub fn write_u64(&mut self, pt: PageTableId, addr: u64, v: u64) -> Result<(), MemFault> {
+        if page_offset(addr) + 8 <= PAGE_SIZE {
+            let pte = self.translate(pt, addr, Access::Write)?;
+            self.phys.write_u64(pte.frame, page_offset(addr), v);
+            return Ok(());
+        }
         self.write(pt, addr, &v.to_le_bytes())
     }
 
     /// Kernel ("supervisor") read that ignores protection bits — the
     /// simulated kernel accesses user memory through this, as a real kernel
-    /// would with its supervisor mappings.
+    /// would with its supervisor mappings. Only mapping is required.
     pub fn kread(&self, pt: PageTableId, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
-        self.walk(pt, addr, buf.len(), Access::Read, |phys, frame, off, range| {
-            phys.read(frame, off, &mut buf[range]);
-        })
-        .or_else(|_| {
-            // Retry without the protection check; only mapping is required.
-            let mut done = 0usize;
-            while done < buf.len() {
-                let a = addr + done as u64;
-                let pte = self.tables[pt.0].lookup(a).ok_or(MemFault::Unmapped { addr: a })?;
-                let off = page_offset(a);
-                let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
-                self.phys.read(pte.frame, off, &mut buf[done..done + n]);
-                done += n;
-            }
-            Ok(())
-        })
+        if !buf.is_empty() && page_offset(addr) as usize + buf.len() <= PAGE_SIZE as usize {
+            let pte = self.lookup_cached(pt, addr).ok_or(MemFault::Unmapped { addr })?;
+            self.phys.read(pte.frame, page_offset(addr), buf);
+            return Ok(());
+        }
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let pte = self.lookup_cached(pt, a).ok_or(MemFault::Unmapped { addr: a })?;
+            let off = page_offset(a);
+            let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
+            self.phys.read(pte.frame, off, &mut buf[done..done + n]);
+            done += n;
+        }
+        Ok(())
     }
 
     /// Kernel write that ignores protection bits (but still requires the
     /// pages to be mapped).
     pub fn kwrite(&mut self, pt: PageTableId, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        if !buf.is_empty() && page_offset(addr) as usize + buf.len() <= PAGE_SIZE as usize {
+            let pte = self.lookup_cached(pt, addr).ok_or(MemFault::Unmapped { addr })?;
+            self.phys.write(pte.frame, page_offset(addr), buf);
+            return Ok(());
+        }
         let mut checked = 0usize;
         while checked < buf.len() {
             let a = addr + checked as u64;
-            self.tables[pt.0].lookup(a).ok_or(MemFault::Unmapped { addr: a })?;
+            self.lookup_cached(pt, a).ok_or(MemFault::Unmapped { addr: a })?;
             checked += (PAGE_SIZE - page_offset(a)) as usize;
         }
         let mut done = 0usize;
         while done < buf.len() {
             let a = addr + done as u64;
-            let pte = self.tables[pt.0].lookup(a).expect("validated above");
+            let pte = self.lookup_cached(pt, a).expect("validated above");
             let off = page_offset(a);
             let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
             self.phys.write(pte.frame, off, &buf[done..done + n]);
@@ -229,6 +353,10 @@ impl Memory {
 
     /// Kernel u64 read.
     pub fn kread_u64(&self, pt: PageTableId, addr: u64) -> Result<u64, MemFault> {
+        if page_offset(addr) + 8 <= PAGE_SIZE {
+            let pte = self.lookup_cached(pt, addr).ok_or(MemFault::Unmapped { addr })?;
+            return Ok(self.phys.read_u64(pte.frame, page_offset(addr)));
+        }
         let mut b = [0u8; 8];
         self.kread(pt, addr, &mut b)?;
         Ok(u64::from_le_bytes(b))
@@ -236,6 +364,11 @@ impl Memory {
 
     /// Kernel u64 write.
     pub fn kwrite_u64(&mut self, pt: PageTableId, addr: u64, v: u64) -> Result<(), MemFault> {
+        if page_offset(addr) + 8 <= PAGE_SIZE {
+            let pte = self.lookup_cached(pt, addr).ok_or(MemFault::Unmapped { addr })?;
+            self.phys.write_u64(pte.frame, page_offset(addr), v);
+            return Ok(());
+        }
         self.kwrite(pt, addr, &v.to_le_bytes())
     }
 
@@ -347,5 +480,46 @@ mod tests {
         m.unmap(pt, 0x1000, 2);
         assert_eq!(m.phys_mut().live_frames(), live - 2);
         assert!(m.read_u64(pt, 0x1000).is_err());
+    }
+
+    #[test]
+    fn translation_cache_sees_remap() {
+        let (mut m, pt) = setup();
+        m.write_u64(pt, 0x1000, 0xAAAA).unwrap();
+        // Warm the cache.
+        assert_eq!(m.read_u64(pt, 0x1000).unwrap(), 0xAAAA);
+        // Remap the page to a fresh (zeroed) frame.
+        m.unmap(pt, 0x1000, 1);
+        m.map_anon(pt, 0x1000, 1, PageFlags::RW, DomainTag(1));
+        assert_eq!(m.read_u64(pt, 0x1000).unwrap(), 0, "stale frame served after remap");
+    }
+
+    #[test]
+    fn translation_cache_sees_protect() {
+        let (mut m, pt) = setup();
+        m.write_u64(pt, 0x1000, 1).unwrap(); // warm
+        m.table_mut(pt).protect(0x1000, PageFlags::READ);
+        assert!(m.write_u64(pt, 0x1000, 2).is_err(), "stale flags served after protect");
+    }
+
+    #[test]
+    fn translation_cache_sees_set_tag() {
+        let (mut m, pt) = setup();
+        let _ = m.translate(pt, 0x1000, Access::Read).unwrap(); // warm
+        m.table_mut(pt).set_tag(0x1000, DomainTag(9));
+        assert_eq!(m.translate(pt, 0x1000, Access::Read).unwrap().tag, DomainTag(9));
+    }
+
+    #[test]
+    fn page_tables_do_not_alias_in_cache() {
+        let mut m = Memory::new();
+        let pt1 = Memory::GLOBAL_PT;
+        let pt2 = m.new_page_table();
+        m.map_anon(pt1, 0x1000, 1, PageFlags::RW, DomainTag(1));
+        m.map_anon(pt2, 0x1000, 1, PageFlags::RW, DomainTag(2));
+        m.write_u64(pt1, 0x1000, 11).unwrap();
+        m.write_u64(pt2, 0x1000, 22).unwrap();
+        assert_eq!(m.read_u64(pt1, 0x1000).unwrap(), 11);
+        assert_eq!(m.read_u64(pt2, 0x1000).unwrap(), 22);
     }
 }

@@ -29,8 +29,10 @@ pub struct Pte {
 #[derive(Default)]
 pub struct PageTable {
     entries: HashMap<u64, Pte>,
-    /// Monotonic generation, bumped on any unmap/protection change; used by
-    /// TLB-coherence assertions in tests.
+    /// Monotonic generation, bumped on *any* mutation (map, unmap, protect,
+    /// set_tag). The host-side translation and decoded-instruction caches
+    /// validate against it, so every mapping edit implicitly invalidates
+    /// them; tests also use it for TLB-coherence assertions.
     generation: u64,
 }
 
@@ -44,6 +46,7 @@ impl PageTable {
     ///
     /// Returns the previous entry if the page was already mapped (remap).
     pub fn map(&mut self, addr: u64, pte: Pte) -> Option<Pte> {
+        self.generation += 1;
         self.entries.insert(vpn(addr), pte)
     }
 
@@ -93,7 +96,8 @@ impl PageTable {
         self.entries.iter().map(|(k, v)| (*k, v))
     }
 
-    /// Current mutation generation (bumped on unmap/protect/set_tag).
+    /// Current mutation generation (bumped on map/unmap/protect/set_tag).
+    #[inline]
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -145,9 +149,17 @@ mod tests {
     #[test]
     fn generation_bumps() {
         let mut pt = PageTable::new();
-        pt.map(0x1000, pte(1, 1));
         let g0 = pt.generation();
+        pt.map(0x1000, pte(1, 1));
+        assert!(pt.generation() > g0, "map must bump (remap invalidates caches)");
+        let g1 = pt.generation();
         pt.protect(0x1000, PageFlags::READ);
-        assert!(pt.generation() > g0);
+        assert!(pt.generation() > g1);
+        let g2 = pt.generation();
+        pt.set_tag(0x1000, DomainTag(3));
+        assert!(pt.generation() > g2);
+        let g3 = pt.generation();
+        pt.unmap(0x1000);
+        assert!(pt.generation() > g3);
     }
 }

@@ -1,0 +1,230 @@
+//! Differential proof that the fast-path caches are invisible: the same
+//! programs, run with the caches enabled and with `CDVM_NO_FASTPATH=1`,
+//! must produce identical simulated cycles, retired counts, faults, and
+//! byte-identical trace output.
+//!
+//! Two layers:
+//!  * a full-system check driving the `fig5` binary as a subprocess in both
+//!    modes (the env var is sampled at process start) and comparing stdout
+//!    plus exported traces byte-for-byte;
+//!  * in-process CPU-level checks (via `simmem::set_fastpath`) covering
+//!    fault paths a figure binary never takes.
+
+use std::process::Command;
+
+use cdvm::isa::reg::*;
+use cdvm::{Asm, CostModel, Cpu, Instr, StepEvent};
+use codoms::cap::RevocationTable;
+use simmem::{DomainTag, Memory, PageFlags};
+
+fn scratch(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dipc-fastpath-diff-{}-{name}", std::process::id()));
+    p.to_str().expect("utf-8 path").to_string()
+}
+
+fn run_fig5(no_fastpath: bool, trace: &str) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig5"));
+    cmd.env_remove("BENCH_SCALE").env("DIPC_TRACE", trace);
+    if no_fastpath {
+        cmd.env("CDVM_NO_FASTPATH", "1");
+    } else {
+        cmd.env_remove("CDVM_NO_FASTPATH");
+    }
+    let out = cmd.output().expect("fig5 runs");
+    assert!(out.status.success(), "fig5 failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// Full-system cycle and trace identity: every simulated number fig5 prints
+/// (latencies, breakdowns) and every trace byte must be unaffected by the
+/// host-side caches.
+#[test]
+fn fig5_identical_with_and_without_fastpath() {
+    let t_fast = scratch("fast.json");
+    let t_slow = scratch("slow.json");
+    let out_fast = run_fig5(false, &t_fast);
+    let out_slow = run_fig5(true, &t_slow);
+    assert_eq!(out_fast, out_slow, "fast path changed simulated results");
+    for suffix in ["", ".folded", ".summary.txt"] {
+        let a = std::fs::read(format!("{t_fast}{suffix}")).expect("fast trace written");
+        let b = std::fs::read(format!("{t_slow}{suffix}")).expect("slow trace written");
+        assert_eq!(a, b, "fast path changed trace output ({suffix:?})");
+    }
+    for p in [&t_fast, &t_slow] {
+        for suffix in ["", ".folded", ".summary.txt"] {
+            let _ = std::fs::remove_file(format!("{p}{suffix}"));
+        }
+    }
+}
+
+const CODE: u64 = 0x10_000;
+const DATA: u64 = 0x20_000;
+
+/// `set_fastpath` is process-global and the harness runs tests on parallel
+/// threads; every in-process differential run holds this lock so one
+/// test's toggle can't leak into another's construction.
+static FASTPATH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Observable end state of a CPU-level run.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    event: StepEvent,
+    cycles: u64,
+    retired: u64,
+    steps: u64,
+    pc: u64,
+    a0: u64,
+    itlb_hits: u64,
+    itlb_misses: u64,
+    dtlb_hits: u64,
+    dtlb_misses: u64,
+}
+
+/// Runs `code` on a fresh machine (constructed *after* the fast-path switch
+/// is set) until a non-retired event or `max_steps`.
+fn run_program(code: &[u8], enable_fastpath: bool, max_steps: u64) -> Outcome {
+    simmem::set_fastpath(Some(enable_fastpath));
+    let mut mem = Memory::new();
+    let pt = Memory::GLOBAL_PT;
+    mem.map_anon(pt, CODE, 2, PageFlags::RX, DomainTag(1));
+    mem.map_anon(pt, DATA, 2, PageFlags::RW, DomainTag(1));
+    mem.kwrite(pt, CODE, code).unwrap();
+    let mut cpu = Cpu::new(0);
+    cpu.pc = CODE;
+    cpu.cur_dom = DomainTag(1);
+    cpu.thread = 1;
+    let mut rev = RevocationTable::new();
+    let cost = CostModel::default();
+    let mut steps = 0;
+    let event = loop {
+        steps += 1;
+        match cpu.step(&mut mem, &mut rev, &cost) {
+            StepEvent::Retired if steps < max_steps => continue,
+            ev => break ev,
+        }
+    };
+    simmem::set_fastpath(None);
+    Outcome {
+        event,
+        cycles: cpu.cycles,
+        retired: cpu.retired,
+        steps,
+        pc: cpu.pc,
+        a0: cpu.reg(A0),
+        itlb_hits: cpu.itlb.stats().hits,
+        itlb_misses: cpu.itlb.stats().misses,
+        dtlb_hits: cpu.dtlb.stats().hits,
+        dtlb_misses: cpu.dtlb.stats().misses,
+    }
+}
+
+fn assert_identical(name: &str, code: &[u8]) {
+    let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let slow = run_program(code, false, 300_000);
+    let fast = run_program(code, true, 300_000);
+    assert_eq!(slow, fast, "{name}: fast path diverged");
+}
+
+#[test]
+fn loops_and_data_traffic_are_cycle_identical() {
+    let mut a = Asm::new();
+    a.li(T0, DATA);
+    a.li(T3, 2000);
+    a.label("loop");
+    a.push(Instr::St { rs1: T0, rs2: T3, imm: 0 });
+    a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
+    a.push(Instr::Addi { rd: T3, rs1: T3, imm: -1 });
+    a.bne(T3, ZERO, "loop");
+    a.push(Instr::Halt);
+    assert_identical("st/ld loop", &a.finish().bytes);
+}
+
+#[test]
+fn faults_are_identical() {
+    // Division by zero mid-loop.
+    let mut a = Asm::new();
+    a.li(T0, 100);
+    a.label("loop");
+    a.push(Instr::Addi { rd: T0, rs1: T0, imm: -1 });
+    a.bne(T0, ZERO, "loop");
+    a.push(Instr::Divu { rd: A0, rs1: T0, rs2: ZERO });
+    assert_identical("div-zero", &a.finish().bytes);
+
+    // Run off into garbage bytes on a hot page (BadInstr).
+    let mut a = Asm::new();
+    a.li(T0, 50);
+    a.label("loop");
+    a.push(Instr::Addi { rd: T0, rs1: T0, imm: -1 });
+    a.bne(T0, ZERO, "loop");
+    let mut bytes = a.finish().bytes;
+    bytes.extend_from_slice(&[0xEE; 8]);
+    assert_identical("bad-instr", &bytes);
+
+    // Jump to an unmapped address.
+    let mut a = Asm::new();
+    a.li(T0, 0x9000_0000u64);
+    a.push(Instr::Jalr { rd: ZERO, rs1: T0, imm: 0 });
+    assert_identical("jump-unmapped", &a.finish().bytes);
+
+    // Store to a read-execute page (protection fault).
+    let mut a = Asm::new();
+    a.li(T0, CODE);
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    assert_identical("store-to-rx", &a.finish().bytes);
+}
+
+#[test]
+fn self_modifying_code_is_identical() {
+    // The program overwrites its own upcoming instruction (a Movi imm
+    // patch), exactly the shape of dIPC's runtime proxy patching; both
+    // modes must execute the patched instruction.
+    let patched = u64::from_le_bytes(Instr::Movi { rd: A0, imm: 222 }.encode());
+    let mut a = Asm::new();
+    // Warm the code page so the decoded block is hot before the patch.
+    a.li(T3, 100);
+    a.label("warm");
+    a.push(Instr::Addi { rd: T3, rs1: T3, imm: -1 });
+    a.bne(T3, ZERO, "warm");
+    // Build the 8 patched bytes in T1 (movhi keeps only the low half of
+    // rd, so a sign-extending movi for the low word is fine).
+    a.push(Instr::Movi { rd: T1, imm: patched as u32 as i32 });
+    a.push(Instr::Movhi { rd: T1, imm: (patched >> 32) as u32 as i32 });
+    // The patch target sits 3 instructions past here(): movi, movhi, st.
+    let patch_addr = CODE + a.here() + 3 * 8;
+    a.push(Instr::Movi { rd: T0, imm: (patch_addr & 0xffff_ffff) as u32 as i32 });
+    a.push(Instr::Movhi { rd: T0, imm: (patch_addr >> 32) as u32 as i32 });
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    a.push(Instr::Movi { rd: A0, imm: 111 }); // overwritten by the store
+    a.push(Instr::Halt);
+    let bytes = a.finish().bytes;
+    let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The page must be writable as well as executable for the self-patch.
+    let run = |enable: bool| {
+        simmem::set_fastpath(Some(enable));
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 2, PageFlags::RWX, DomainTag(1));
+        mem.kwrite(pt, CODE, &bytes).unwrap();
+        let mut cpu = Cpu::new(0);
+        cpu.pc = CODE;
+        cpu.cur_dom = DomainTag(1);
+        cpu.thread = 1;
+        let mut rev = RevocationTable::new();
+        let cost = CostModel::default();
+        let mut ev = StepEvent::Retired;
+        for _ in 0..100_000 {
+            ev = cpu.step(&mut mem, &mut rev, &cost);
+            if ev != StepEvent::Retired {
+                break;
+            }
+        }
+        simmem::set_fastpath(None);
+        (ev, cpu.cycles, cpu.retired, cpu.reg(A0))
+    };
+    let slow = run(false);
+    let fast = run(true);
+    assert_eq!(slow, fast, "self-modifying program diverged");
+    assert_eq!(slow.0, StepEvent::Halt);
+    assert_eq!(slow.3, 222, "patched instruction must execute");
+}
