@@ -10,14 +10,18 @@
 use cdvm::MachineConfig;
 use simkernel::{TimeBreakdown, TimeCat};
 
-/// Prints the standard harness header, and arms the tracer when the
-/// `DIPC_TRACE=<path>` env var is set (every figure/table binary calls
-/// this, so all of them gain tracing for free). Pair with [`finish`].
+/// Prints the standard harness header, arms the tracer when the
+/// `DIPC_TRACE=<path>` env var is set, and arms fault injection when
+/// `DIPC_FAULTS=<spec>` is set (every figure/table binary calls this, so
+/// all of them gain tracing and chaos for free). Pair with [`finish`].
 pub fn banner(title: &str) {
     if let Ok(path) = std::env::var("DIPC_TRACE") {
         if !path.is_empty() {
             simtrace::enable(&path);
         }
+    }
+    if simfault::arm_from_env() {
+        eprintln!("fault injection armed from DIPC_FAULTS");
     }
     let m = MachineConfig::default();
     println!("================================================================");

@@ -138,6 +138,10 @@ pub struct Cpu {
     /// check per instruction. Gates per-step trace events *and*
     /// [`ExecStats`] recording.
     instrument: bool,
+    /// Cached `simfault::armed()`, refreshed alongside `instrument`. Gates
+    /// the capability-revocation injection site so the untraced, unfaulted
+    /// hot loop stays free of thread-local lookups.
+    chaos: bool,
     /// Whether this CPU uses the decoded-instruction cache (sampled from
     /// [`simmem::fastpath_enabled`] at construction).
     fastpath: bool,
@@ -171,6 +175,7 @@ impl Cpu {
             domain_crossings: 0,
             cur_page_flags: PageFlags::empty(),
             instrument: simtrace::enabled(),
+            chaos: simfault::armed(),
             fastpath: simmem::fastpath_enabled(),
             icache: InstrCache::new(),
         }
@@ -182,6 +187,7 @@ impl Cpu {
     #[inline]
     pub fn refresh_instrumentation(&mut self) {
         self.instrument = simtrace::enabled();
+        self.chaos = simfault::armed();
     }
 
     /// Host-side decoded-instruction-cache counters `(hits, fills)`.
@@ -284,6 +290,14 @@ impl Cpu {
                     if self.instrument {
                         simtrace::counter("apl_hit", 1);
                         simtrace::domain_crossing(self.index, pc, self.cycles);
+                    }
+                    // Fault injection: revoke this thread's synchronous
+                    // capabilities *between* the passed crossing check and
+                    // any later use (e.g. the proxy return capability) —
+                    // the revocation race the paper's unwind path must
+                    // absorb. The crossing itself stays valid.
+                    if self.chaos && simfault::should(simfault::Site::Revoke, self.cycles) {
+                        rev.revoke_all(self.thread);
                     }
                 }
                 Err(CheckError::AplMiss { tag }) => return StepEvent::AplMiss(tag),

@@ -10,7 +10,7 @@
 //! 3. the eight capability registers.
 //!
 //! Control transfers crossing domains additionally enforce the call-gate
-//! alignment rule: "Any code address used with this [Call] permission is an
+//! alignment rule: "Any code address used with this \[Call\] permission is an
 //! entry point if it is aligned to a system-configurable value" (§4.1).
 
 use simmem::{DomainTag, Pte};

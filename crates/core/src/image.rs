@@ -1,6 +1,6 @@
 //! The dIPC executable image format (§5.3.2, §6.2).
 //!
-//! The paper's compiler pass "auto-generate[s] additional sections in the
+//! The paper's compiler pass "auto-generate\[s\] additional sections in the
 //! output binary, which the program loader uses to load code and data into
 //! their respective domains, configure domain grants inside a process, and
 //! manage the dynamic resolution of domain entry points and proxies".

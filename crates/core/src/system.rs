@@ -4,8 +4,33 @@
 //! [`System`] wraps a [`simkernel::Kernel`] the way the paper's 9 K-line
 //! patch wraps Linux 3.9: the base kernel forwards unknown syscalls and
 //! unhandled user faults here.
+//!
+//! # The caller-side error contract (§5.2.1)
+//!
+//! A dIPC call site must treat `a0` as fallible. After `jal` into a proxy,
+//! exactly one of three things reaches the caller:
+//!
+//! 1. **The callee's return value** — the call ran to completion.
+//! 2. **[`DIPC_ERR_FAULT`]** (`-ECANCELED`) — the call was *unwound*: the
+//!    callee faulted (protection violation, revoked capability, unmapped
+//!    page), the callee process died mid-call, or the kernel's cold-path
+//!    resolve failed (callee dead, or a transiently injected resolve
+//!    error). The caller's registers, stack and domain are exactly as the
+//!    proxy's return path leaves them on a successful call; only `a0`
+//!    differs. The error is *not* sticky: retrying is always safe, and a
+//!    retry against a transient failure may succeed.
+//! 3. **[`DIPC_ERR_TIMEDOUT`]** (`-ETIMEDOUT`) — the host split the thread
+//!    off a stuck callee (§5.4).
+//!
+//! A caller that faults with *no* live KCS entry to unwind to (a crash
+//! outside any dIPC call, or every caller on the stack already dead) is
+//! killed conventionally — the error values are only ever delivered to a
+//! *live* caller frame. Dead callees are reclaimed eagerly by
+//! [`System::kill_process`]: their pages are unmapped (so stale warm paths
+//! fault and unwind instead of executing dead code), their tracking
+//! contexts are dropped, and their VAS blocks are released.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cdvm::asm::Program;
 use cdvm::isa::reg;
@@ -131,6 +156,15 @@ pub struct System {
     exit_gadget: Option<u64>,
     /// Count of §5.4 time-out splits performed.
     pub splits: u64,
+    /// Processes whose resources have already been reclaimed by
+    /// [`System::kill_process`] — the idempotency guard that makes a second
+    /// kill (e.g. a chaos trigger racing a natural exit while a peer's
+    /// proxy call is in flight on another CPU) a no-op instead of a
+    /// double unmap / double unwind.
+    reaped: HashSet<u64>,
+    /// Outstanding injected page-permission flips: `(va, original flags,
+    /// heal time)`. Healed by [`System::step`]'s chaos tick.
+    flips: Vec<(u64, PageFlags, u64)>,
 }
 
 impl System {
@@ -151,6 +185,8 @@ impl System {
             cold_resolves: 0,
             exit_gadget: None,
             splits: 0,
+            reaped: HashSet::new(),
+            flips: Vec::new(),
         }
     }
 
@@ -538,7 +574,13 @@ impl System {
         self.k.charge(cpu, TimeCat::Kernel, TRACK_RESOLVE_COST);
         let Some(tid) = self.k.cpus[cpu].current else { return u64::MAX };
         let pid = Pid(callee_pid);
-        if !self.k.procs.contains_key(&pid) {
+        // A reclaimed callee must not resolve: otherwise a peer with a cold
+        // tracking slot would lazily allocate context in the corpse and
+        // call into freed code. The caller of this syscall unwinds. A
+        // process that merely *halted* (all threads exited cleanly) still
+        // resolves — its memory and entry points are intact, like a shared
+        // library whose main thread returned.
+        if self.reaped.contains(&pid.0) || !self.k.procs.contains_key(&pid) {
             return u64::MAX;
         }
         let tag = DomainTag(callee_tag);
@@ -707,8 +749,22 @@ impl System {
 
     /// Kills a process with dIPC semantics: visiting threads (threads of
     /// *other* processes currently executing inside it) are unwound back to
-    /// their callers with an error instead of dying with the process.
+    /// their callers with an error instead of dying with the process, and
+    /// the corpse is reclaimed eagerly — per-CPU tracking slots scrubbed,
+    /// thread-tracking contexts dropped, pages unmapped and VAS blocks
+    /// released — so every stale path into it (warm tracking entries on
+    /// other CPUs, in-flight proxies past the resolve) faults and unwinds
+    /// instead of executing dead code.
+    ///
+    /// Idempotent: a second kill of the same process (a fault-injection
+    /// trigger racing a natural exit, or an unwind-failure escalation while
+    /// a peer's call is in flight on another CPU) is a no-op — without the
+    /// guard it would double-free the reclaimed frames and re-unwind
+    /// already-rescued visitors off now-stale KCS entries.
     pub fn kill_process(&mut self, pid: Pid) {
+        if !self.reaped.insert(pid.0) {
+            return;
+        }
         if let Some(p) = self.k.procs.get_mut(&pid) {
             p.alive = false;
         }
@@ -750,6 +806,50 @@ impl System {
             }
         }
         self.k.kill_process(pid);
+        self.reclaim(pid);
+    }
+
+    /// Reclaims a dead dIPC process's resources. Runs *after* visitor
+    /// rescue: the rescued threads are already back on their callers'
+    /// return paths and no longer touch the corpse.
+    fn reclaim(&mut self, pid: Pid) {
+        // Every CODOMs domain rooted in the dead process.
+        let mut dead_tags: HashSet<DomainTag> =
+            self.doms.values().filter(|d| d.owner_pid == pid.0).map(|d| d.tag).collect();
+        let Some(proc_info) = self.k.procs.get(&pid) else { return };
+        dead_tags.insert(proc_info.default_domain);
+        let (dipc, blocks) = (proc_info.dipc_enabled, proc_info.blocks.clone());
+        // Scrub warm per-CPU state: hardware APL entries and their tracking
+        // slots, so a peer's next call misses, takes the cold path, and
+        // fails resolve (which now checks liveness) into an unwind.
+        for cpu in 0..self.k.cpus.len() {
+            for tag in &dead_tags {
+                if let Some(hw) = self.k.cpus[cpu].cpu.apl_cache.hw_tag(*tag) {
+                    self.zero_track_slot(cpu, hw.0 as u64);
+                    self.k.cpus[cpu].cpu.apl_cache.invalidate(*tag);
+                }
+            }
+        }
+        // Per-thread contexts (TLS/stack/DCS) lazily allocated inside the
+        // dead process by visiting threads.
+        self.track.retain(|k, _| !dead_tags.contains(&DomainTag(k.1)));
+        // Unmap the corpse and free its frames. dIPC processes allocate
+        // exclusively inside their global-VAS blocks (proxy code lives in
+        // the kernel-shared area and survives for KCS unwinding), so
+        // releasing the blocks reclaims everything. Frames are never
+        // aliased across blocks (`dom_remap` retags in place), so the
+        // frees cannot double up with a peer's teardown.
+        if dipc {
+            for b in blocks {
+                if let Some((base, next)) = self.k.vas.block_span(pid.0, b) {
+                    self.k.mem.unmap(Memory::GLOBAL_PT, base, (next - base) / PAGE_SIZE);
+                    let _ = self.k.vas.release_block(pid.0, b);
+                }
+            }
+            if let Some(p) = self.k.procs.get_mut(&pid) {
+                p.blocks.clear();
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -910,8 +1010,14 @@ impl System {
     // ------------------------------------------------------------------
 
     /// Advances the simulation one step, transparently handling dIPC
-    /// syscalls and recoverable faults.
+    /// syscalls and recoverable faults. With a fault plan armed
+    /// ([`simfault::arm`]) each step also runs the chaos tick: due
+    /// kill/exit triggers fire, healed page flips are restored, and new
+    /// flips are drawn.
     pub fn step(&mut self) -> SysStep {
+        if simfault::armed() {
+            self.chaos_tick();
+        }
         match self.k.step_sim() {
             KStep::Progress => SysStep::Progress,
             KStep::Finished => SysStep::Finished,
@@ -930,6 +1036,82 @@ impl System {
                     self.kill_process(victim);
                 }
                 SysStep::Progress
+            }
+        }
+    }
+
+    /// Kills a single thread with dIPC semantics (the `tkill` chaos
+    /// trigger): if it was the process's last live thread, the whole
+    /// process is killed and reclaimed via [`System::kill_process`].
+    pub fn kill_thread(&mut self, tid: Tid) {
+        let Some(home) = self.k.threads.get(&tid).map(|t| t.home) else { return };
+        self.k.kill_thread(tid);
+        if !self.k.procs.get(&home).map(|p| p.alive).unwrap_or(false) {
+            self.kill_process(home);
+        }
+    }
+
+    /// One fault-injection tick: fire due triggers, heal expired page
+    /// flips, and draw a new flip. Victim pages for flips are writable
+    /// pages of *callee* domains (some proxy targets them), so the induced
+    /// write fault always lands under a live KCS entry and unwinds to a
+    /// caller instead of killing an innocent top-level thread.
+    fn chaos_tick(&mut self) {
+        let now = self.k.now_max();
+        if !self.flips.is_empty() {
+            let mut healed = Vec::new();
+            self.flips.retain(|&(va, flags, heal_at)| {
+                if now >= heal_at {
+                    healed.push((va, flags));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (va, flags) in healed {
+                // The page may have been reclaimed with its process in the
+                // meantime; only heal what is still mapped.
+                if self.k.mem.table(Memory::GLOBAL_PT).lookup(va).is_some() {
+                    self.k.mem.table_mut(Memory::GLOBAL_PT).protect(va, flags);
+                }
+            }
+        }
+        for t in simfault::take_due(now) {
+            match t {
+                simfault::Trigger::KillProcess { pid } => self.kill_process(Pid(pid)),
+                simfault::Trigger::KillThread { tid } => self.kill_thread(Tid(tid)),
+            }
+        }
+        if simfault::should(simfault::Site::PageFlip, now) {
+            let callee_tags: HashSet<DomainTag> =
+                self.proxies.values().map(|p| p.callee_dom).collect();
+            let mut cands: Vec<u64> = self
+                .k
+                .mem
+                .table(Memory::GLOBAL_PT)
+                .iter()
+                .filter(|(_, pte)| {
+                    pte.flags.contains(PageFlags::WRITE)
+                        && !pte.flags.contains(PageFlags::CAP_STORE)
+                        && callee_tags.contains(&pte.tag)
+                })
+                .map(|(vpn, _)| vpn)
+                .collect();
+            // HashMap iteration order is host-dependent; sort before
+            // indexing with the deterministic draw.
+            cands.sort_unstable();
+            if !cands.is_empty() {
+                let pick = simfault::draw(simfault::Site::PageFlip, cands.len() as u64);
+                let va = cands[pick as usize] * PAGE_SIZE;
+                if let Some(pte) = self.k.mem.table(Memory::GLOBAL_PT).lookup(va) {
+                    let old = pte.flags;
+                    let heal = now + simfault::param(simfault::Site::PageFlip).max(1);
+                    self.k
+                        .mem
+                        .table_mut(Memory::GLOBAL_PT)
+                        .protect(va, old.without(PageFlags::WRITE));
+                    self.flips.push((va, old, heal));
+                }
             }
         }
     }
@@ -976,7 +1158,31 @@ impl System {
         const EINVAL: u64 = (-22i64) as u64;
         let pid = self.k.current_pid(cpu);
         match nr {
-            dsys::TRACK_RESOLVE => self.track_resolve(cpu, args[0], args[1] as u32),
+            dsys::TRACK_RESOLVE => {
+                // Fault injection: a transient kernel-side resolve error,
+                // indistinguishable to the caller from a dead callee.
+                let injected = simfault::armed()
+                    && simfault::should(simfault::Site::SysErr, self.k.cpus[cpu].cpu.cycles);
+                let r = if injected {
+                    u64::MAX
+                } else {
+                    self.track_resolve(cpu, args[0], args[1] as u32)
+                };
+                if r != u64::MAX {
+                    return r;
+                }
+                // Resolve failed (dead callee, missing APL, or injection).
+                // The proxy's cold path would loop `retry → taglookup miss →
+                // resolve` forever; its KCS entry is already pushed (the
+                // push precedes the tracking lookup precisely so this works),
+                // so unwind to the nearest live caller and surface the error.
+                let fault = Fault { pc: self.k.cpus[cpu].cpu.pc, kind: FaultKind::Crash };
+                if !self.unwind_running(cpu, _tid, fault) {
+                    let victim = self.k.current_pid(cpu);
+                    self.kill_process(victim);
+                }
+                DIPC_ERR_FAULT
+            }
             dsys::DOM_DEFAULT => {
                 let h = self.dom_default(pid);
                 self.install(pid, h)

@@ -47,14 +47,30 @@ pub fn build(p: &OltpParams) -> Stack {
     w.build(php);
 
     // --- Web process: primary threads, imports `php_render` ---
+    // Under fault injection the call is wrapped in bounded
+    // retry-with-backoff + shedding (and s3-s5 become live across the
+    // proxy); with injection disarmed the emitted world is byte-identical
+    // to the plain build, so fig8 numbers are unaffected.
+    let chaos = simfault::armed();
     let pweb = p.clone();
     let web = AppSpec::new("web", move |a| {
         tiers::emit_web_main(a, &pweb, &|a| {
-            a.jal(RA, "call_php_php_render");
+            if chaos {
+                tiers::emit_retry_call(a, dipc::DIPC_ERR_FAULT, "web_loop", &|a| {
+                    a.jal(RA, "call_php_php_render");
+                });
+            } else {
+                a.jal(RA, "call_php_php_render");
+            }
         });
-    })
-    .import_live("php", "php_render", sig, IsoProps::LOW, &[S1, S2])
-    .data("counters", (p.concurrency * 8).max(64));
+    });
+    let live: &[u8] = if chaos { &[S1, S2, S3, S4, S5] } else { &[S1, S2] };
+    let mut web = web
+        .import_live("php", "php_render", sig, IsoProps::LOW, live)
+        .data("counters", (p.concurrency * 8).max(64));
+    if chaos {
+        web = web.data("shed", (p.concurrency * 8).max(64));
+    }
     w.build(web);
 
     w.link();
@@ -71,6 +87,7 @@ pub fn build(p: &OltpParams) -> Stack {
     assert_eq!(fd.0 as u64, tiers::DB_FD);
 
     let counters = w.app("web").data["counters"];
+    let sheds = w.app("web").data.get("shed").copied();
     for i in 0..p.concurrency {
         w.spawn("web", "web_main", &[i]);
     }
@@ -78,7 +95,7 @@ pub fn build(p: &OltpParams) -> Stack {
     // dIPC processes share the global page table.
     let pt = simmem::Memory::GLOBAL_PT;
     let _ = &mut sys;
-    Stack { sys, counters: (pt, counters), slots: p.concurrency }
+    Stack { sys, counters: (pt, counters), slots: p.concurrency, sheds }
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ pub fn build(p: &OltpParams) -> Stack {
         sys.k.spawn_thread(pid, img.addr("web_main"), &[i]);
     }
     let pt = sys.k.procs[&pid].pt;
-    Stack { sys, counters: (pt, externs["$data_counters"]), slots: p.concurrency }
+    Stack { sys, counters: (pt, externs["$data_counters"]), slots: p.concurrency, sheds: None }
 }
 
 #[cfg(test)]

@@ -42,12 +42,28 @@ pub struct Stack {
     pub counters: (PageTableId, u64),
     /// Number of counter slots (primary threads).
     pub slots: u64,
+    /// Base of the per-thread shed counters, when the stack was built with
+    /// fault injection armed (the dIPC web tier then wraps calls in
+    /// retry-with-backoff and sheds requests that keep failing).
+    pub sheds: Option<u64>,
 }
 
 impl Stack {
     fn sum_counters(&self) -> u64 {
         let (pt, base) = self.counters;
         (0..self.slots).map(|i| self.sys.k.mem.kread_u64(pt, base + i * 8).unwrap_or(0)).sum()
+    }
+
+    /// Total requests shed across all web threads (0 when the stack was
+    /// built without fault injection).
+    pub fn sum_sheds(&self) -> u64 {
+        let (pt, _) = self.counters;
+        match self.sheds {
+            Some(base) => (0..self.slots)
+                .map(|i| self.sys.k.mem.kread_u64(pt, base + i * 8).unwrap_or(0))
+                .sum(),
+            None => 0,
+        }
     }
 
     /// Runs the stack: `warm_ms` of simulated warm-up, then `measure_ms` of

@@ -187,7 +187,7 @@ pub fn build(p: &OltpParams) -> Stack {
     }
 
     let pt = sys.k.procs[&web].pt;
-    Stack { sys, counters: (pt, web_ex["$data_counters"]), slots: n }
+    Stack { sys, counters: (pt, web_ex["$data_counters"]), slots: n, sheds: None }
 }
 
 #[cfg(test)]

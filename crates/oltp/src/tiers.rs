@@ -108,6 +108,59 @@ pub fn emit_php_render(a: &mut Asm, p: &OltpParams, call_db: &dyn Fn(&mut Asm)) 
     a.push(Instr::Jalr { rd: ZERO, rs1: RA, imm: 0 });
 }
 
+/// Attempts per request before the web tier sheds it (first try + retries).
+pub const RETRY_MAX: u64 = 3;
+
+/// Backoff unit in cycles; attempt `n` waits `n * RETRY_BACKOFF_CYCLES`
+/// before retrying (linear backoff keeps the simulation deterministic).
+pub const RETRY_BACKOFF_CYCLES: u64 = 2_000;
+
+/// Wraps a dIPC call in bounded retry-with-backoff and load shedding.
+///
+/// `call` emits the actual proxy call (arguments in `a0`/`a1`, result in
+/// `a0`); `err` is the sentinel return value that marks an unwound call
+/// (normally [`dipc::DIPC_ERR_FAULT`]). On failure the original arguments
+/// are restored from `s3`/`s4` and the call is retried up to [`RETRY_MAX`]
+/// attempts with linear backoff; after that the request is *shed*: the
+/// thread's slot in the `$data_shed` region (parallel to `$data_counters`,
+/// indexed off the counter pointer in `s1`) is bumped and control jumps to
+/// `shed_to` — in [`emit_web_main`] that is `web_loop`, so a shed request
+/// skips the response work and the completed-operations counter.
+///
+/// Clobbers `s3` (saved `a0`), `s4` (saved `a1`) and `s5` (attempt count);
+/// callers routing this through a dIPC proxy must list those registers as
+/// live so the generated proxy preserves them across the call.
+pub fn emit_retry_call(a: &mut Asm, err: u64, shed_to: &str, call: &dyn Fn(&mut Asm)) {
+    a.push(Instr::Add { rd: S3, rs1: A0, rs2: ZERO }); // save args for replays
+    a.push(Instr::Add { rd: S4, rs1: A1, rs2: ZERO });
+    a.li(S5, 0); // attempt counter
+    a.label("retry_call");
+    call(a);
+    a.li(T0, err);
+    a.bne(A0, T0, "retry_done");
+    a.push(Instr::Addi { rd: S5, rs1: S5, imm: 1 });
+    a.li(T0, RETRY_MAX);
+    a.bgeu(S5, T0, "retry_shed");
+    // Linear backoff: attempt n stalls n * RETRY_BACKOFF_CYCLES cycles.
+    a.li(T0, RETRY_BACKOFF_CYCLES);
+    a.push(Instr::Mul { rd: T1, rs1: S5, rs2: T0 });
+    a.push(Instr::Work { rs1: T1, imm: 0 });
+    a.push(Instr::Add { rd: A0, rs1: S3, rs2: ZERO }); // restore args
+    a.push(Instr::Add { rd: A1, rs1: S4, rs2: ZERO });
+    a.j("retry_call");
+    a.label("retry_shed");
+    // Bump this thread's shed slot: $data_shed + (s1 - $data_counters).
+    a.li_sym(T0, "$data_counters");
+    a.push(Instr::Sub { rd: T0, rs1: S1, rs2: T0 });
+    a.li_sym(T1, "$data_shed");
+    a.push(Instr::Add { rd: T0, rs1: T0, rs2: T1 });
+    a.push(Instr::Ld { rd: T1, rs1: T0, imm: 0 });
+    a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    a.j(shed_to);
+    a.label("retry_done");
+}
+
 /// Emits the web-tier main loop under label `web_main`.
 ///
 /// `a0` = thread index on entry. Loops forever: parse work → render (via

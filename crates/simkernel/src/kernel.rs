@@ -1,5 +1,29 @@
 //! The kernel proper: boot, processes/threads, scheduler, syscall dispatch,
 //! and the discrete-event simulation loop.
+//!
+//! [`Kernel`] owns one [`cdvm::Cpu`] per simulated core plus the shared
+//! [`simmem::Memory`], and advances the machine with a discrete-event loop:
+//! each CPU runs its current thread until a quantum boundary, a fault, a
+//! syscall, or a blocking operation, and cross-CPU interactions (wakeups,
+//! IPIs, storage completions) are exchanged as timestamped events so the
+//! interleaving is a pure function of the initial state — the determinism
+//! rule every layer above relies on (see `ARCHITECTURE.md`).
+//!
+//! The scheduling model follows the paper's setup (modified Linux 3.9):
+//! per-CPU run queues with round-robin time slices, futex-based blocking,
+//! and IPI-driven remote wakeups whose costs come from [`cdvm::CostModel`].
+//! Processes are conventional (private page table) or dIPC-enabled (mapped
+//! into the shared global address space); the dIPC-specific machinery —
+//! proxies, domain handles, KCS unwinding, reclamation of dead processes —
+//! lives one layer up in the `dipc` crate, which wraps this kernel and
+//! intercepts its faults and dIPC syscalls.
+//!
+//! Fault injection hooks (`simfault`): when a plan is armed, this module
+//! perturbs IPI delivery (loss re-queues the wakeup as a delayed ready
+//! transition, so forward progress is preserved), injects spurious
+//! `-EINTR` futex returns, and exposes [`Kernel::kill_thread`] /
+//! [`Kernel::kill_process`] for the kill triggers — all decisions drawn
+//! from the deterministic plan PRNG at zero simulated cost.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -974,8 +998,26 @@ impl Kernel {
             }
             let c = self.cost.ipi_send;
             self.charge(from, TimeCat::Kernel, c);
-            let arrive = now + self.cost.cycles_from_ns(self.cost.ipi_latency_ns);
-            self.events.push(arrive, Event::Ipi { cpu: target });
+            let mut arrive = now + self.cost.cycles_from_ns(self.cost.ipi_latency_ns);
+            // Fault injection: a lost IPI is sent (and charged) but never
+            // delivered — the woken thread only becomes visible when the
+            // target CPU's scheduler next polls its run queue, modelled by
+            // pushing `ready_at` out by the recovery parameter. No hang is
+            // possible: `cpu_next_action_time` reads the run-queue entry's
+            // `ready_at` with or without a pending IPI event. A delayed IPI
+            // simply arrives late.
+            let mut lost = false;
+            if simfault::armed() {
+                if simfault::should(simfault::Site::IpiLoss, now) {
+                    lost = true;
+                    arrive = now + simfault::param(simfault::Site::IpiLoss).max(1);
+                } else if simfault::should(simfault::Site::IpiDelay, now) {
+                    arrive += simfault::param(simfault::Site::IpiDelay).max(1);
+                }
+            }
+            if !lost {
+                self.events.push(arrive, Event::Ipi { cpu: target });
+            }
             let t = self.threads.get_mut(&tid).expect("exists");
             t.ready_at = t.ready_at.max(arrive);
             t.state = ThreadState::Runnable;
@@ -1002,9 +1044,11 @@ impl Kernel {
     }
 
     /// Kills a whole process (thread crash escalation, §5.2.1's process
-    /// kill path).
+    /// kill path). Idempotent: a second kill of the same process finds all
+    /// threads already dead and changes nothing.
     pub fn kill_process(&mut self, pid: Pid) {
         let tids = self.procs.get(&pid).map(|p| p.threads.clone()).unwrap_or_default();
+        let mut died = Vec::new();
         for tid in tids {
             let state = self.threads[&tid].state;
             match state {
@@ -1021,9 +1065,47 @@ impl Kernel {
                 }
                 ThreadState::Blocked(_) => self.mark_dead(tid),
             }
+            died.push(tid);
+        }
+        // Scrub the dead threads out of every futex waiter list so stale
+        // entries can't accumulate across many kills.
+        if !died.is_empty() {
+            for waiters in self.futexes.values_mut() {
+                waiters.retain(|t| !died.contains(t));
+            }
         }
         if let Some(p) = self.procs.get_mut(&pid) {
             p.alive = false;
+        }
+    }
+
+    /// Kills a single thread (the host-driven `tkill` path): it is removed
+    /// from its CPU, run queues and futex waits and marked dead. The rest
+    /// of its process keeps running; if it was the last live thread the
+    /// process dies with it. Killing a dead or unknown thread is a no-op.
+    pub fn kill_thread(&mut self, tid: Tid) {
+        let Some(t) = self.threads.get(&tid) else { return };
+        match t.state {
+            ThreadState::Dead => return,
+            ThreadState::Running(cpu) => self.cpus[cpu].current = None,
+            ThreadState::Runnable => {
+                for slot in &mut self.cpus {
+                    slot.runq.retain(|x| *x != tid);
+                }
+            }
+            ThreadState::Blocked(_) => {}
+        }
+        self.mark_dead(tid);
+        for waiters in self.futexes.values_mut() {
+            waiters.retain(|x| *x != tid);
+        }
+        let home = self.threads[&tid].home;
+        let all_dead = self.procs[&home]
+            .threads
+            .iter()
+            .all(|t| matches!(self.threads[t].state, ThreadState::Dead));
+        if all_dead {
+            self.procs.get_mut(&home).expect("exists").alive = false;
         }
     }
 
@@ -1439,6 +1521,16 @@ impl Kernel {
         let Some(key) = self.futex_key(pt, addr) else {
             return SysResult::Ret(err(errno::EFAULT));
         };
+        // Fault injection: a spurious wakeup — the wait returns `-EINTR`
+        // without ever blocking (POSIX permits this). Returning *instead of*
+        // blocking keeps the waiter list duplicate-free; well-formed waiters
+        // re-check the futex word and re-wait.
+        if simfault::armed() {
+            let now = self.cpus[i].cpu.cycles;
+            if simfault::should(simfault::Site::SpuriousWake, now) {
+                return SysResult::Ret(err(errno::EINTR));
+            }
+        }
         self.futexes.entry(key).or_default().push(tid);
         SysResult::Block(BlockReason::Futex(key))
     }
@@ -1456,14 +1548,18 @@ impl Kernel {
         let Some(key) = self.futex_key(pt, addr) else {
             return SysResult::Ret(err(errno::EFAULT));
         };
+        // Drain until `n` threads actually woke: stale entries (threads
+        // killed or unwound out of the wait) are discarded without
+        // consuming a wake slot, so a live waiter can never miss its
+        // wakeup to a dead one.
         let mut woken = 0;
-        if let Some(waiters) = self.futexes.get_mut(&key) {
-            let take = waiters.len().min(n);
-            let wake_list: Vec<Tid> = waiters.drain(..take).collect();
-            for w in wake_list {
-                if self.wake_if_blocked(w, BlockReason::Futex(key), i) {
-                    woken += 1;
-                }
+        while woken < n as u64 {
+            let next = match self.futexes.get_mut(&key) {
+                Some(w) if !w.is_empty() => w.remove(0),
+                _ => break,
+            };
+            if self.wake_if_blocked(next, BlockReason::Futex(key), i) {
+                woken += 1;
             }
         }
         SysResult::Ret(woken)

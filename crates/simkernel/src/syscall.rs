@@ -90,6 +90,8 @@ pub mod errno {
     pub const ENOSYS: u64 = 38;
     /// No such process/thread.
     pub const ESRCH: u64 = 3;
+    /// Interrupted call (spurious futex wakeups surface as this).
+    pub const EINTR: u64 = 4;
 }
 
 /// Human-readable name for a syscall number, for trace span labels.

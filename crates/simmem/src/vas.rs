@@ -107,6 +107,16 @@ impl GlobalVas {
         Ok(id)
     }
 
+    /// The used span of a block — `(base, next)` with `next` the bump
+    /// cursor — for owners reclaiming a dead process's mappings before
+    /// [`GlobalVas::release_block`].
+    pub fn block_span(&self, owner: u64, id: BlockId) -> Option<(u64, u64)> {
+        match self.blocks.get(&id) {
+            Some(b) if b.owner == owner => Some((b.base, b.next)),
+            _ => None,
+        }
+    }
+
     /// Releases a whole block (all suballocations become invalid).
     pub fn release_block(&mut self, owner: u64, id: BlockId) -> Result<(), VasError> {
         match self.blocks.get(&id) {

@@ -12,6 +12,8 @@
 //! [`TimeBreakdown`]) so the kernel's accounting and the tracer share
 //! one vocabulary; `simkernel::accounting` re-exports it.
 
+#![warn(missing_docs)]
+
 mod accounting;
 pub mod check;
 mod collector;

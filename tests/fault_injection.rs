@@ -1,0 +1,230 @@
+//! Deterministic fault-injection sweeps (the simfault acceptance tests).
+//!
+//! Each test builds the same two-process dIPC world — a caller looping
+//! over a cross-process `echo` call, counting successes and unwound calls
+//! separately — and runs it under a seed-driven [`simfault::FaultPlan`].
+//! The sweeps assert the three recovery invariants of §5.2.1:
+//!
+//! 1. **No hangs** — every run finishes its operation target well inside a
+//!    fixed cycle budget, whatever the seed injects.
+//! 2. **Every fault is recovered or surfaced** — the caller stays alive
+//!    and every loop iteration ends in either a correct result or the
+//!    documented `DIPC_ERR_FAULT` error; killed processes have their
+//!    frames reclaimed (no leaks, no double frees).
+//! 3. **Bit-identical replay** — the same seed reproduces the same
+//!    injection log, the same counters and the same final cycle count;
+//!    and an armed plan with all rates at zero is cycle-identical to a
+//!    disarmed run.
+
+use cdvm::isa::reg::*;
+use cdvm::Instr;
+use dipc::{AppSpec, IsoProps, Signature, System, World, DIPC_ERR_FAULT};
+use simfault::{FaultPlan, Site, Trigger};
+use simkernel::KernelConfig;
+use simmem::Memory;
+
+/// Cycle budget per run: generous (a clean run needs ~1.5M cycles) but
+/// finite, so a hang shows up as a budget overrun, not a wedged test.
+const BUDGET: u64 = 40_000_000;
+const TARGET_OPS: u64 = 1_500;
+
+struct MicroWorld {
+    sys: System,
+    counters: u64,
+    srv_pid: u64,
+    cli_pid: u64,
+    secret: u64,
+}
+
+/// Builds the caller/callee world. The callee holds a recognisable secret
+/// word in its private data region; the caller never legitimately reads it.
+fn build_micro() -> MicroWorld {
+    let mut w = World::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+    let sig = Signature::regs(1, 1);
+
+    let srv = AppSpec::new("srv", |a| {
+        a.align(64);
+        a.label("echo");
+        a.push(Instr::Work { rs1: 0, imm: 200 });
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: A0 });
+        a.push(Instr::Jalr { rd: ZERO, rs1: RA, imm: 0 });
+    })
+    .export("echo", sig, IsoProps::STACK_CONF | IsoProps::REG_INTEGRITY)
+    .data("secret", 64);
+    w.build(srv);
+
+    let cli = AppSpec::new("cli", |a| {
+        a.label("cli_main");
+        a.li_sym(S1, "$data_counters");
+        a.li(S3, 0);
+        a.label("cli_loop");
+        a.push(Instr::Add { rd: A0, rs1: S3, rs2: ZERO });
+        a.jal(RA, "call_srv_echo");
+        a.li(T0, DIPC_ERR_FAULT);
+        a.beq(A0, T0, "cli_err");
+        a.push(Instr::Ld { rd: T1, rs1: S1, imm: 0 });
+        a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+        a.push(Instr::St { rs1: S1, rs2: T1, imm: 0 });
+        a.j("cli_next");
+        a.label("cli_err");
+        a.push(Instr::Ld { rd: T1, rs1: S1, imm: 8 });
+        a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+        a.push(Instr::St { rs1: S1, rs2: T1, imm: 8 });
+        a.label("cli_next");
+        a.push(Instr::Addi { rd: S3, rs1: S3, imm: 1 });
+        a.j("cli_loop");
+    })
+    .import_live("srv", "echo", sig, IsoProps::LOW, &[S1, S3])
+    .data("counters", 64);
+    w.build(cli);
+    w.link();
+
+    let srv_pid = w.app("srv").pid.0;
+    let cli_pid = w.app("cli").pid.0;
+    let counters = w.app("cli").data["counters"];
+    let secret = w.app("srv").data["secret"];
+    w.spawn("cli", "cli_main", &[]);
+    let mut sys = w.sys;
+    sys.k.mem.kwrite_u64(Memory::GLOBAL_PT, secret, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+    MicroWorld { sys, counters, srv_pid, cli_pid, secret }
+}
+
+struct RunOutcome {
+    ok: u64,
+    err: u64,
+    final_cycles: u64,
+    caller_alive: bool,
+    injections: u64,
+    log: String,
+}
+
+/// Runs the world until `TARGET_OPS` operations completed (or the budget
+/// ran out, which the sweeps treat as a hang).
+fn run_micro(plan: Option<FaultPlan>) -> RunOutcome {
+    let mut mw = build_micro();
+    if let Some(p) = plan {
+        simfault::arm(p);
+    }
+    let counters = mw.counters;
+    mw.sys.run_until(|s| {
+        let ok = s.k.mem.kread_u64(Memory::GLOBAL_PT, counters).unwrap_or(0);
+        let err = s.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0);
+        ok + err >= TARGET_OPS || s.k.now_max() >= BUDGET
+    });
+    let ok = mw.sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters).unwrap_or(0);
+    let err = mw.sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0);
+    let caller_alive = mw.sys.k.procs[&simkernel::Pid(mw.cli_pid)].alive;
+    let out = RunOutcome {
+        ok,
+        err,
+        final_cycles: mw.sys.k.now_max(),
+        caller_alive,
+        injections: simfault::injections(),
+        log: simfault::log_render(),
+    };
+    simfault::disarm();
+    out
+}
+
+/// A moderately hostile plan for `seed`: transient revokes and resolve
+/// failures throughout, plus a mid-run kill of the callee process.
+fn hostile_plan(seed: u64, srv_pid: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rate(Site::Revoke, 0.002)
+        .rate(Site::SysErr, 0.25)
+        .at(400_000 + seed * 10_000, Trigger::KillProcess { pid: srv_pid })
+}
+
+#[test]
+fn sixteen_seed_sweep_recovers_every_fault() {
+    // The pid layout is identical across builds, so probe it once.
+    let srv_pid = build_micro().srv_pid;
+    for seed in 0..16 {
+        let r = run_micro(Some(hostile_plan(seed, srv_pid)));
+        assert!(
+            r.ok + r.err >= TARGET_OPS,
+            "seed {seed}: hang — only {}+{} ops inside {BUDGET} cycles",
+            r.ok,
+            r.err
+        );
+        assert!(r.final_cycles < BUDGET, "seed {seed}: budget exhausted");
+        assert!(r.caller_alive, "seed {seed}: caller did not survive injected faults");
+        assert!(r.err > 0, "seed {seed}: the callee kill must surface as caller errors");
+        assert!(r.injections > 0, "seed {seed}: plan injected nothing");
+    }
+}
+
+#[test]
+fn same_seed_replays_bit_identically() {
+    let srv_pid = build_micro().srv_pid;
+    for seed in [3u64, 11] {
+        let a = run_micro(Some(hostile_plan(seed, srv_pid)));
+        let b = run_micro(Some(hostile_plan(seed, srv_pid)));
+        assert_eq!(a.log, b.log, "seed {seed}: injection logs diverged");
+        assert_eq!(a.final_cycles, b.final_cycles, "seed {seed}: cycle counts diverged");
+        assert_eq!((a.ok, a.err), (b.ok, b.err), "seed {seed}: counters diverged");
+    }
+}
+
+#[test]
+fn distinct_seeds_explore_distinct_schedules() {
+    let srv_pid = build_micro().srv_pid;
+    let a = run_micro(Some(hostile_plan(1, srv_pid)));
+    let b = run_micro(Some(hostile_plan(2, srv_pid)));
+    assert_ne!(a.log, b.log, "different seeds must inject differently");
+}
+
+#[test]
+fn armed_zero_rate_plan_is_cycle_identical_to_disarmed() {
+    let clean = run_micro(None);
+    let zero = run_micro(Some(FaultPlan::new(42)));
+    assert_eq!(zero.injections, 0, "a zero-rate plan must not inject");
+    assert_eq!(
+        clean.final_cycles, zero.final_cycles,
+        "fault-injection probes must cost zero simulated cycles"
+    );
+    assert_eq!((clean.ok, clean.err), (zero.ok, zero.err));
+}
+
+#[test]
+fn killed_callee_frames_are_reclaimed_and_secret_unreachable() {
+    let mut mw = build_micro();
+    let counters = mw.counters;
+    // Let the call loop warm up, then kill the callee directly.
+    mw.sys.run_until(|s| s.k.mem.kread_u64(Memory::GLOBAL_PT, counters).unwrap_or(0) >= 50);
+    let live_before = mw.sys.k.mem.phys().live_frames();
+    mw.sys.kill_process(simkernel::Pid(mw.srv_pid));
+    let live_after = mw.sys.k.mem.phys().live_frames();
+    assert!(
+        live_after < live_before,
+        "reclaim must free the dead callee's frames ({live_before} -> {live_after})"
+    );
+    // The callee's data pages are unmapped: its secret is gone from the
+    // global address space, not just unreferenced.
+    assert!(
+        mw.sys.k.mem.kread_u64(Memory::GLOBAL_PT, mw.secret).is_err(),
+        "dead callee's secret must be unmapped"
+    );
+    // The caller keeps running and now sees errors, not junk results.
+    let err0 = mw.sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0);
+    mw.sys.run_until(|s| {
+        s.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0) >= err0 + 20
+            || s.k.now_max() >= BUDGET
+    });
+    let err1 = mw.sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0);
+    assert!(err1 >= err0 + 20, "caller must keep failing fast after the callee died");
+    assert!(mw.sys.k.procs[&simkernel::Pid(mw.cli_pid)].alive);
+}
+
+#[test]
+fn double_kill_is_idempotent() {
+    let mut mw = build_micro();
+    let counters = mw.counters;
+    mw.sys.run_until(|s| s.k.mem.kread_u64(Memory::GLOBAL_PT, counters).unwrap_or(0) >= 50);
+    mw.sys.kill_process(simkernel::Pid(mw.srv_pid));
+    let live = mw.sys.k.mem.phys().live_frames();
+    // A second kill (e.g. a racing trigger plus a fault escalation) must
+    // not double-free frames or panic.
+    mw.sys.kill_process(simkernel::Pid(mw.srv_pid));
+    assert_eq!(mw.sys.k.mem.phys().live_frames(), live, "second kill must be a no-op");
+}

@@ -196,6 +196,175 @@ fn p5_callers_broken_stub_hurts_only_the_caller() {
     assert!(w.sys.k.procs[&spid].alive);
 }
 
+// ---------------------------------------------------------------------
+// Unwind-path properties (§5.2.1): a callee dying at any KCS depth must
+// surface as `DIPC_ERR_FAULT` in the nearest live caller, with the
+// caller's registers and domains intact and the dead process's frames
+// reclaimed.
+// ---------------------------------------------------------------------
+
+/// Builds an A→B→C proxy-call chain with host-visible rendezvous flags.
+///
+/// * `c` exports `leaf`: raises `$data_cflag`, spins until the host
+///   raises `cflag+8`, then returns `2*a0`.
+/// * `b` exports `mid`: raises `$data_bflag`, spins until the host raises
+///   `bflag+8`, calls `leaf`, propagates `DIPC_ERR_FAULT` unchanged and
+///   otherwise returns `leaf(a0) + 1`.
+/// * `a` runs `main`: plants sentinels in its live registers, calls
+///   `mid(21)`, stores the sentinels to `$data_out` and halts with the
+///   call's result as its exit code.
+fn nested_chain() -> World {
+    let mut w = world();
+    let sig = Signature::regs(1, 1);
+
+    let c = AppSpec::new("c", |a| {
+        a.align(64);
+        a.label("leaf");
+        a.li_sym(T0, "$data_cflag");
+        a.li(T1, 1);
+        a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+        a.label("leaf_wait");
+        a.push(Instr::Ld { rd: T1, rs1: T0, imm: 8 });
+        a.beq(T1, ZERO, "leaf_wait");
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: A0 });
+        a.ret();
+    })
+    .export("leaf", sig, IsoProps::LOW)
+    .data("cflag", 64);
+    w.build(c);
+
+    let b = AppSpec::new("b", |a| {
+        a.align(64);
+        a.label("mid");
+        a.push(Instr::Addi { rd: SP, rs1: SP, imm: -16 });
+        a.push(Instr::St { rs1: SP, rs2: RA, imm: 0 });
+        a.li_sym(T0, "$data_bflag");
+        a.li(T1, 1);
+        a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+        a.label("mid_wait");
+        a.push(Instr::Ld { rd: T1, rs1: T0, imm: 8 });
+        a.beq(T1, ZERO, "mid_wait");
+        a.jal(RA, "call_c_leaf");
+        a.li(T0, DIPC_ERR_FAULT);
+        a.bne(A0, T0, "mid_ok");
+        a.j("mid_ret"); // propagate the error unchanged
+        a.label("mid_ok");
+        a.push(Instr::Addi { rd: A0, rs1: A0, imm: 1 });
+        a.label("mid_ret");
+        a.push(Instr::Ld { rd: RA, rs1: SP, imm: 0 });
+        a.push(Instr::Addi { rd: SP, rs1: SP, imm: 16 });
+        a.ret();
+    })
+    .export("mid", sig, IsoProps::STACK_CONF)
+    .import_live("c", "leaf", sig, IsoProps::LOW, &[])
+    .data("bflag", 64);
+    w.build(b);
+
+    let a_app = AppSpec::new("a", |a| {
+        a.label("main");
+        a.li(S6, 0x5151);
+        a.li(S7, 0x7272);
+        a.li(A0, 21);
+        a.jal(RA, "call_b_mid");
+        a.li_sym(T0, "$data_out");
+        a.push(Instr::St { rs1: T0, rs2: S6, imm: 0 });
+        a.push(Instr::St { rs1: T0, rs2: S7, imm: 8 });
+        a.push(Instr::Halt);
+    })
+    .import_live("b", "mid", sig, IsoProps::LOW, &[S6, S7])
+    .data("out", 64);
+    w.build(a_app);
+    w.link();
+    w
+}
+
+/// Common assertions after a mid-call kill: the caller got
+/// `DIPC_ERR_FAULT`, its sentinel registers survived, it ran its own code
+/// to a clean halt (it was rescued, not killed), and the dead process's
+/// frames were freed. (`Process::alive` is no evidence of survival here —
+/// it also flips false on the caller's own clean exit.)
+fn assert_unwound_cleanly(w: &World, tid: simkernel::Tid, dead: &str, live_before: usize) {
+    let sys = &w.sys;
+    assert!(matches!(sys.k.threads[&tid].state, ThreadState::Dead), "caller must halt normally");
+    assert_eq!(sys.k.threads[&tid].exit_code, DIPC_ERR_FAULT, "caller sees the documented error");
+    let out = w.app("a").data["out"];
+    let pt = simmem::Memory::GLOBAL_PT;
+    assert_eq!(sys.k.mem.kread_u64(pt, out).unwrap(), 0x5151, "live reg s6 must survive unwind");
+    assert_eq!(
+        sys.k.mem.kread_u64(pt, out + 8).unwrap(),
+        0x7272,
+        "live reg s7 must survive unwind"
+    );
+    let dpid = w.app(dead).pid;
+    assert!(!sys.k.procs[&dpid].alive);
+    assert!(
+        sys.k.mem.phys().live_frames() < live_before,
+        "the dead process's frames must be reclaimed"
+    );
+    assert!(sys.unwinds >= 1, "recovery must go through the KCS unwinder");
+}
+
+#[test]
+fn kill_at_depth_one_unwinds_to_caller() {
+    // Kill B while A's thread executes B's code (KCS = [A→B]).
+    let mut w = nested_chain();
+    let tid = w.spawn("a", "main", &[]);
+    let bflag = w.app("b").data["bflag"];
+    let pt = simmem::Memory::GLOBAL_PT;
+    w.sys.run_until(|s| s.k.mem.kread_u64(pt, bflag).unwrap_or(0) == 1);
+    let live = w.sys.k.mem.phys().live_frames();
+    let bpid = w.app("b").pid;
+    w.sys.kill_process(bpid);
+    w.sys.run_to_completion();
+    assert_unwound_cleanly(&w, tid, "b", live);
+}
+
+#[test]
+fn kill_innermost_at_depth_two_unwinds_to_middle_caller() {
+    // Kill C while A's thread executes C (KCS = [A→B, B→C]): the unwind
+    // resumes B, which sees the error and propagates it to A.
+    let mut w = nested_chain();
+    let tid = w.spawn("a", "main", &[]);
+    let bflag = w.app("b").data["bflag"];
+    let cflag = w.app("c").data["cflag"];
+    let pt = simmem::Memory::GLOBAL_PT;
+    w.sys.run_until(|s| s.k.mem.kread_u64(pt, bflag).unwrap_or(0) == 1);
+    w.sys.k.mem.kwrite_u64(pt, bflag + 8, 1).unwrap(); // let B call C
+    w.sys.run_until(|s| s.k.mem.kread_u64(pt, cflag).unwrap_or(0) == 1);
+    let live = w.sys.k.mem.phys().live_frames();
+    let cpid = w.app("c").pid;
+    w.sys.kill_process(cpid);
+    w.sys.run_to_completion();
+    assert_unwound_cleanly(&w, tid, "c", live);
+    // B survived: it was resumed, saw the error and returned it.
+    let bpid = w.app("b").pid;
+    assert!(w.sys.k.procs[&bpid].alive, "the middle caller is undamaged");
+}
+
+#[test]
+fn kill_middle_at_depth_two_skips_the_dead_caller() {
+    // Kill B while A's thread executes C (KCS = [A→B, B→C]): C finishes
+    // and returns toward B's unmapped code; the fault unwinder skips the
+    // dead middle frame and resumes A directly.
+    let mut w = nested_chain();
+    let tid = w.spawn("a", "main", &[]);
+    let bflag = w.app("b").data["bflag"];
+    let cflag = w.app("c").data["cflag"];
+    let pt = simmem::Memory::GLOBAL_PT;
+    w.sys.run_until(|s| s.k.mem.kread_u64(pt, bflag).unwrap_or(0) == 1);
+    w.sys.k.mem.kwrite_u64(pt, bflag + 8, 1).unwrap();
+    w.sys.run_until(|s| s.k.mem.kread_u64(pt, cflag).unwrap_or(0) == 1);
+    let live = w.sys.k.mem.phys().live_frames();
+    let bpid = w.app("b").pid;
+    w.sys.kill_process(bpid);
+    w.sys.k.mem.kwrite_u64(pt, cflag + 8, 1).unwrap(); // let C return
+    w.sys.run_to_completion();
+    assert_unwound_cleanly(&w, tid, "b", live);
+    // C survived: it was never at fault.
+    let cpid = w.app("c").pid;
+    assert!(w.sys.k.procs[&cpid].alive, "the innocent leaf callee is undamaged");
+}
+
 #[test]
 fn erroneous_use_never_reaches_other_processes() {
     // An unrelated bystander process keeps running while an attacker
