@@ -44,12 +44,14 @@ pub fn finish() {
 }
 
 /// Measurement scale factor from the `BENCH_SCALE` env var (1 = quick
-/// default; larger = longer, steadier runs).
+/// default; larger = longer, steadier runs). Unparsable values — including
+/// `0`, which would zero out every iteration count downstream — fall back
+/// to 1 with a warning instead of poisoning the run.
 pub fn scale() -> u64 {
     match std::env::var("BENCH_SCALE") {
         Ok(s) => match s.parse() {
-            Ok(n) => n,
-            Err(_) => {
+            Ok(n) if n >= 1 => n,
+            _ => {
                 eprintln!("warning: ignoring unparsable BENCH_SCALE={s:?}; using 1");
                 1
             }
@@ -87,11 +89,24 @@ mod tests {
         assert_eq!(breakdown_row(&b).split_whitespace().count(), 7);
     }
 
+    /// All `BENCH_SCALE` parses in one test (the env var is process-global,
+    /// so splitting these across test threads would race).
     #[test]
-    fn default_scale_is_one() {
-        // (Unless the caller exported BENCH_SCALE.)
-        if std::env::var("BENCH_SCALE").is_err() {
-            assert_eq!(scale(), 1);
+    fn scale_parses_warns_and_never_returns_zero() {
+        let saved = std::env::var("BENCH_SCALE").ok();
+        std::env::remove_var("BENCH_SCALE");
+        assert_eq!(scale(), 1, "default");
+        std::env::set_var("BENCH_SCALE", "7");
+        assert_eq!(scale(), 7, "valid value");
+        // The warning path: garbage, negative and zero all degrade to 1
+        // instead of propagating a run-poisoning factor.
+        for bad in ["banana", "-3", "1.5", "0", ""] {
+            std::env::set_var("BENCH_SCALE", bad);
+            assert_eq!(scale(), 1, "BENCH_SCALE={bad:?} must fall back to 1");
+        }
+        match saved {
+            Some(v) => std::env::set_var("BENCH_SCALE", v),
+            None => std::env::remove_var("BENCH_SCALE"),
         }
     }
 }

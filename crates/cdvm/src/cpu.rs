@@ -17,7 +17,7 @@ use codoms::check::{CheckError, Checker};
 use codoms::dcs::{Dcs, DcsError};
 use codoms::{AplCache, Perm};
 use simmem::page::{page_align_down, page_offset, vpn, Access};
-use simmem::{DomainTag, MemFault, Memory, PageFlags, PageTableId, Pte, Tlb, PAGE_SIZE};
+use simmem::{Bus, DomainTag, MemFault, Memory, PageFlags, PageTableId, Pte, Tlb, PAGE_SIZE};
 
 use crate::cost::CostModel;
 use crate::icache::InstrCache;
@@ -214,9 +214,14 @@ impl Cpu {
     }
 
     /// Runs until an event or until `self.cycles >= deadline`.
-    pub fn run(
+    ///
+    /// Generic over [`Bus`]: the kernel event loop and single-CPU execution
+    /// pass the machine's [`Memory`] directly; the SMP quantum engine passes
+    /// a per-CPU [`simmem::ShadowMem`] so CPUs can execute concurrently on
+    /// host threads and merge their writes at the barrier.
+    pub fn run<M: Bus>(
         &mut self,
-        mem: &mut Memory,
+        mem: &mut M,
         rev: &mut RevocationTable,
         cost: &CostModel,
         deadline: u64,
@@ -233,9 +238,9 @@ impl Cpu {
     }
 
     /// Executes a single instruction.
-    pub fn step(
+    pub fn step<M: Bus>(
         &mut self,
-        mem: &mut Memory,
+        mem: &mut M,
         rev: &mut RevocationTable,
         cost: &CostModel,
     ) -> StepEvent {
@@ -376,25 +381,18 @@ impl Cpu {
     /// its frame as code so later writes to it bump the global code epoch.
     /// (`mark_code` itself does not bump the epoch, so the snapshot taken
     /// here stays valid until the frame is actually written or freed.)
-    fn fill_icache(&mut self, mem: &mut Memory, pte: Pte, pc: u64) {
+    fn fill_icache<M: Bus>(&mut self, mem: &mut M, pte: Pte, pc: u64) {
         let pt = self.active_pt;
         let table_gen = mem.table_generation(pt);
         let code_epoch = mem.code_epoch();
-        self.icache.fill(
-            pt,
-            vpn(pc),
-            table_gen,
-            code_epoch,
-            pte,
-            mem.phys().frame_bytes(pte.frame),
-        );
-        mem.phys_mut().mark_code(pte.frame);
+        self.icache.fill(pt, vpn(pc), table_gen, code_epoch, pte, mem.frame_bytes(pte.frame));
+        mem.mark_code(pte.frame);
     }
 
-    fn execute(
+    fn execute<M: Bus>(
         &mut self,
         instr: Instr,
-        mem: &mut Memory,
+        mem: &mut M,
         rev: &mut RevocationTable,
         cost: &CostModel,
     ) -> StepEvent {
@@ -762,9 +760,9 @@ impl Cpu {
 
     /// Full check for a plain data access: conventional page bits, the
     /// capability-storage tamper rule, and the CODOMs domain check.
-    fn data_access(
+    fn data_access<M: Bus>(
         &mut self,
-        mem: &Memory,
+        mem: &M,
         rev: &RevocationTable,
         cost: &CostModel,
         addr: u64,
@@ -784,7 +782,7 @@ impl Cpu {
                     match f {
                         MemFault::Unmapped { .. } => return Err(self.fault(FaultKind::Mem(f))),
                         MemFault::Protection { .. } => {
-                            mem.table(self.active_pt).lookup(a).expect("protection implies mapped")
+                            mem.lookup_pte(self.active_pt, a).expect("protection implies mapped")
                         }
                     }
                 }
@@ -821,9 +819,9 @@ impl Cpu {
 
     /// CODOMs-only check (used by CapLd/CapSt, which are allowed to touch
     /// capability-storage pages).
-    fn codoms_check(
+    fn codoms_check<M: Bus>(
         &mut self,
-        mem: &Memory,
+        mem: &M,
         rev: &RevocationTable,
         _cost: &CostModel,
         addr: u64,
@@ -858,7 +856,7 @@ impl Cpu {
     /// Verifies that `addr` is on a mapped capability-storage page (with
     /// write permission if `write`). DCS traffic uses this (the DCS bounds
     /// registers are the authority, so no CODOMs check).
-    fn capstore_page(&self, mem: &Memory, addr: u64, write: bool) -> Result<(), StepEvent> {
+    fn capstore_page<M: Bus>(&self, mem: &M, addr: u64, write: bool) -> Result<(), StepEvent> {
         let access = if write { Access::Write } else { Access::Read };
         let pte = match mem.translate(self.active_pt, addr, access) {
             Ok(p) => p,
@@ -870,9 +868,9 @@ impl Cpu {
         Ok(())
     }
 
-    fn cap_apl_take(
+    fn cap_apl_take<M: Bus>(
         &mut self,
-        mem: &Memory,
+        mem: &M,
         rev: &RevocationTable,
         base: u64,
         len: u64,

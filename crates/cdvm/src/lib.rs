@@ -20,6 +20,10 @@
 //!   loop.
 //! * [`icache`] — the host-side per-page decoded-instruction cache behind
 //!   the fetch fast path (disable with `CDVM_NO_FASTPATH=1`).
+//! * [`machine`] — the deterministic SMP machine: N CPUs in a
+//!   barrier-synchronised quantum schedule, executed host-parallel on a
+//!   worker pool (`SMP_HOST_THREADS`) with bit-identical results for any
+//!   thread count.
 
 pub mod asm;
 pub mod cost;
@@ -27,6 +31,7 @@ pub mod cpu;
 pub mod disasm;
 pub mod icache;
 pub mod isa;
+pub mod machine;
 pub mod stats;
 
 pub use asm::{Asm, Reloc, RelocKind};
@@ -34,4 +39,5 @@ pub use cost::{CostModel, MachineConfig};
 pub use cpu::{Cpu, Fault, FaultKind, RunExit, StepEvent};
 pub use icache::InstrCache;
 pub use isa::{reg, CapReg, Instr, Reg, INSTR_BYTES};
+pub use machine::{quantum_cycles, Machine, DEFAULT_QUANTUM};
 pub use stats::{ExecStats, InstrClass, TraceRing};

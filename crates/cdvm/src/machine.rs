@@ -1,0 +1,229 @@
+//! The deterministic SMP machine: N CPUs in a barrier-synchronised
+//! quantum schedule, optionally executed on host worker threads.
+//!
+//! # Execution model
+//!
+//! Simulated time advances in *quanta*. In quantum `k` every live CPU runs
+//! until its private cycle counter has advanced by the quantum length (or
+//! it raises an event); no CPU starts quantum `k+1` before all CPUs finish
+//! quantum `k`. Within a quantum CPUs are fully independent: each executes
+//! against a copy-on-write [`ShadowMem`] view of memory taken at the
+//! barrier, so stores become visible to other CPUs only at the next
+//! barrier — a deterministic, slightly relaxed consistency model (one
+//! quantum of store latency) that makes host-parallel execution exact
+//! rather than racy.
+//!
+//! At the barrier the per-CPU effects are merged **in CPU-index order**:
+//!
+//! * buffered stores (byte-granular dirty ranges; on a same-byte conflict
+//!   the higher CPU index deterministically wins),
+//! * revocation-epoch bumps (exact max-merge, see
+//!   [`RevocationTable::merge_max`]),
+//! * captured trace events (replayed through the real collector, see
+//!   [`simtrace::replay`]),
+//! * fault-injection logs (absorbed from per-CPU streams, see
+//!   [`simfault::absorb_worker`]).
+//!
+//! Because the merge order, the store-conflict rule and the per-CPU
+//! deadline are all functions of simulated state only, the result is
+//! bit-identical for any `SMP_HOST_THREADS` value — including 1 — and
+//! across repeated runs. Writes to executed code pages bump the code epoch
+//! when the delta is applied, so every other CPU's decoded-instruction
+//! cache and translation cache revalidate before its next quantum; page
+//! remaps between quanta bump the table generation with the same effect.
+//!
+//! With one CPU the machine skips the shadow/merge machinery entirely and
+//! runs directly against [`Memory`] — byte-identical to the pre-SMP
+//! single-CPU execution path by construction.
+
+use codoms::cap::RevocationTable;
+use simmem::{Memory, ShadowMem};
+
+use crate::cost::CostModel;
+use crate::cpu::{Cpu, RunExit, StepEvent};
+
+/// Default quantum length in simulated cycles (`SMP_QUANTUM` overrides).
+pub const DEFAULT_QUANTUM: u64 = 100_000;
+
+/// Reads the quantum length from `SMP_QUANTUM` (cycles, ≥ 1), defaulting
+/// to [`DEFAULT_QUANTUM`].
+pub fn quantum_cycles() -> u64 {
+    match std::env::var("SMP_QUANTUM").ok().and_then(|v| v.parse::<u64>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => DEFAULT_QUANTUM,
+    }
+}
+
+/// A multi-CPU machine stepping its CPUs in deterministic quanta.
+pub struct Machine {
+    /// The CPUs, indexed by [`Cpu::index`].
+    pub cpus: Vec<Cpu>,
+    /// Shared memory (authoritative between quanta).
+    pub mem: Memory,
+    /// Shared sync-capability revocation table.
+    pub rev: RevocationTable,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    quantum: u64,
+    host_threads: usize,
+    halted: Vec<bool>,
+    /// Per-CPU fault-injection streams; forked lazily while `simfault` is
+    /// armed and kept across quanta so each CPU's draw sequence continues
+    /// instead of restarting at every barrier.
+    wfaults: Vec<Option<simfault::WorkerFaults>>,
+}
+
+impl Machine {
+    /// Creates a machine with `n` CPUs sharing `mem`. The quantum length
+    /// comes from `SMP_QUANTUM` and the worker count from
+    /// `SMP_HOST_THREADS` (see [`hostpool::host_threads`]).
+    pub fn new(n: usize, mem: Memory, cost: CostModel) -> Machine {
+        let n = n.max(1);
+        Machine {
+            cpus: (0..n).map(Cpu::new).collect(),
+            mem,
+            rev: RevocationTable::new(),
+            cost,
+            quantum: quantum_cycles(),
+            host_threads: hostpool::host_threads(),
+            halted: vec![false; n],
+            wfaults: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of CPUs.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Overrides the quantum length (cycles, clamped to ≥ 1).
+    pub fn set_quantum(&mut self, q: u64) {
+        self.quantum = q.max(1);
+    }
+
+    /// Current quantum length in cycles.
+    pub fn quantum(&self) -> u64 {
+        self.quantum
+    }
+
+    /// Overrides the host worker-thread count (clamped to ≥ 1). Results
+    /// are bit-identical for any value; this only changes host wall time.
+    pub fn set_host_threads(&mut self, t: usize) {
+        self.host_threads = t.max(1);
+    }
+
+    /// True once every CPU has executed `Halt`.
+    pub fn all_halted(&self) -> bool {
+        self.halted.iter().all(|&h| h)
+    }
+
+    /// True if CPU `i` has halted.
+    pub fn cpu_halted(&self, i: usize) -> bool {
+        self.halted[i]
+    }
+
+    /// Un-halts CPU `i` (e.g. after loading a new program onto it).
+    pub fn wake(&mut self, i: usize) {
+        self.halted[i] = false;
+    }
+
+    /// Runs one quantum on every live CPU and merges the effects at the
+    /// barrier. Returns each CPU's exit (`None` for halted CPUs). A
+    /// deadline exit means the CPU simply used up its quantum; `Halt`
+    /// marks the CPU halted until [`Machine::wake`].
+    pub fn step_quantum(&mut self) -> Vec<Option<RunExit>> {
+        if self.cpus.len() == 1 {
+            // Single CPU: run directly against real memory — the exact
+            // pre-SMP execution path, byte-identical by construction.
+            if self.halted[0] {
+                return vec![None];
+            }
+            let deadline = self.cpus[0].cycles + self.quantum;
+            let exit = self.cpus[0].run(&mut self.mem, &mut self.rev, &self.cost, deadline);
+            if exit.event == StepEvent::Halt {
+                self.halted[0] = true;
+            }
+            return vec![Some(exit)];
+        }
+
+        // Fork / refresh the per-CPU fault streams on the main thread so
+        // the decision is identical for every SMP_HOST_THREADS value.
+        let armed = simfault::armed();
+        for (i, slot) in self.wfaults.iter_mut().enumerate() {
+            if !armed {
+                *slot = None;
+            } else if slot.is_none() {
+                *slot = simfault::fork_worker(i as u64);
+            }
+        }
+        let tracing = simtrace::enabled();
+        let quantum = self.quantum;
+        let cost = &self.cost;
+        let snap = self.mem.snapshot();
+
+        // Ship each live CPU (with its revocation-table clone and fault
+        // stream) to a worker; collect (exit, write delta, trace buffer)
+        // back in CPU order — hostpool's ordering contract.
+        let tasks: Vec<(usize, Cpu, RevocationTable, Option<simfault::WorkerFaults>)> = {
+            let mut v = Vec::new();
+            for (i, cpu) in std::mem::take(&mut self.cpus).into_iter().enumerate() {
+                v.push((i, cpu, self.rev.clone(), self.wfaults[i].take()));
+            }
+            v
+        };
+        let halted = self.halted.clone();
+        let results = hostpool::map(self.host_threads, tasks, |_, (i, mut cpu, mut rev, wf)| {
+            if halted[i] {
+                return (cpu, rev, None, None, Vec::new(), wf);
+            }
+            if tracing {
+                simtrace::capture_start();
+            }
+            if let Some(w) = wf {
+                simfault::install_worker(w);
+            }
+            let mut shadow = ShadowMem::new(snap);
+            let deadline = cpu.cycles + quantum;
+            let exit = cpu.run(&mut shadow, &mut rev, cost, deadline);
+            let wf = simfault::take_worker(i as u64);
+            let trace = if tracing { simtrace::capture_take() } else { Vec::new() };
+            (cpu, rev, Some(exit), Some(shadow.into_delta()), trace, wf)
+        });
+
+        // Barrier: merge every CPU's effects in CPU-index order.
+        let mut exits = Vec::with_capacity(results.len());
+        for (i, (cpu, rev, exit, delta, trace, wf)) in results.into_iter().enumerate() {
+            if let Some(d) = delta {
+                d.apply(&mut self.mem);
+            }
+            self.rev.merge_max(&rev);
+            simtrace::replay(trace);
+            if let Some(mut w) = wf {
+                simfault::absorb_worker(&mut w);
+                self.wfaults[i] = Some(w);
+            }
+            if exit.map(|e| e.event) == Some(StepEvent::Halt) {
+                self.halted[i] = true;
+            }
+            self.cpus.push(cpu);
+            exits.push(exit);
+        }
+        exits
+    }
+
+    /// Steps quanta until every CPU halts or `max_quanta` elapse. Returns
+    /// the number of quanta executed.
+    pub fn run_to_halt(&mut self, max_quanta: u64) -> u64 {
+        let mut q = 0;
+        while !self.all_halted() && q < max_quanta {
+            self.step_quantum();
+            q += 1;
+        }
+        q
+    }
+
+    /// Total instructions retired across all CPUs.
+    pub fn total_retired(&self) -> u64 {
+        self.cpus.iter().map(|c| c.retired).sum()
+    }
+}

@@ -217,3 +217,126 @@ fn misaligned_fetch_cannot_spill_into_foreign_domain() {
         ev => panic!("expected CODOMs fault, got {ev:?}"),
     }
 }
+
+// ---------------------------------------------------------------------
+// Cross-CPU invalidation under the SMP quantum engine: one CPU's code
+// mutation must be visible to every other CPU at the next barrier, for
+// any host thread count.
+// ---------------------------------------------------------------------
+
+use cdvm::Machine;
+
+const CODE2: u64 = 0x50_000;
+
+/// Encodes a single instruction to its 8 bytes.
+fn encode(i: Instr) -> [u8; 8] {
+    let mut a = Asm::new();
+    a.push(i);
+    a.finish().bytes[..8].try_into().unwrap()
+}
+
+#[test]
+fn cross_cpu_code_patch_invalidates_peer_icache_at_barrier() {
+    // CPU 1 patches an instruction CPU 0 is executing in a hot loop
+    // (dIPC-style run-time proxy patching, but from another CPU). The
+    // store is buffered in CPU 1's shadow during the quantum, applied at
+    // the barrier, and — because CPU 0's predecode marked the frame as
+    // code — bumps the code epoch, forcing CPU 0's decoded block and
+    // translation to revalidate before its next quantum.
+    for threads in [1usize, 2] {
+        // CPU 0: spin until the patch site yields a0 == 2.
+        let mut a = Asm::new();
+        a.label("loop");
+        a.push(Instr::Movi { rd: A0, imm: 1 }); // patch site (CODE + 0)
+        a.li(T0, 2);
+        a.beq(A0, T0, "done");
+        a.j("loop");
+        a.label("done");
+        a.push(Instr::Halt);
+        let spin = a.finish().bytes;
+
+        // CPU 1: overwrite the patch site with `Movi a0, 2`, then halt.
+        let patched = u64::from_le_bytes(encode(Instr::Movi { rd: A0, imm: 2 }));
+        let mut a = Asm::new();
+        a.li(T1, patched);
+        a.li(T2, CODE);
+        a.push(Instr::St { rs1: T2, rs2: T1, imm: 0 });
+        a.push(Instr::Halt);
+        let patcher = a.finish().bytes;
+
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RWX, DomainTag(1));
+        mem.kwrite(pt, CODE, &spin).unwrap();
+        mem.map_anon(pt, CODE2, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE2, &patcher).unwrap();
+
+        let mut m = Machine::new(2, mem, CostModel::default());
+        m.set_quantum(2_000);
+        m.set_host_threads(threads);
+        for (i, cpu) in m.cpus.iter_mut().enumerate() {
+            cpu.pc = if i == 0 { CODE } else { CODE2 };
+            cpu.cur_dom = DomainTag(1);
+            cpu.thread = 1 + i as u64;
+        }
+        let quanta = m.run_to_halt(1_000);
+        assert!(m.all_halted(), "spin never saw the patch (threads={threads})");
+        assert_eq!(m.cpus[0].reg(A0), 2, "stale decoded block after cross-CPU patch");
+        // The patch cannot land before the first barrier.
+        assert!(quanta >= 2, "patch visible too early: {quanta} quanta");
+        if simmem::fastpath_enabled() {
+            let (hits, _) = m.cpus[0].icache_stats();
+            assert!(hits > 0, "spin loop should have warmed the icache");
+        }
+    }
+}
+
+#[test]
+fn remap_between_quanta_halts_all_cpus_via_generation_bump() {
+    // A kernel-level page flip between quanta (unmap + remap of the page
+    // both CPUs execute from) must invalidate every CPU's cached
+    // translation and decoded block: the fresh frame is filled with
+    // `Halt`, so any stale fetch would keep spinning forever.
+    for threads in [1usize, 2] {
+        let mut a = Asm::new();
+        a.label("loop");
+        a.push(Instr::Addi { rd: T0, rs1: T0, imm: 1 });
+        a.j("loop");
+        let spin = a.finish().bytes;
+
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE, &spin).unwrap();
+
+        let mut m = Machine::new(2, mem, CostModel::default());
+        m.set_quantum(2_000);
+        m.set_host_threads(threads);
+        for (i, cpu) in m.cpus.iter_mut().enumerate() {
+            cpu.pc = CODE;
+            cpu.cur_dom = DomainTag(1);
+            cpu.thread = 1 + i as u64;
+        }
+        // Warm both CPUs' caches for two quanta.
+        m.step_quantum();
+        m.step_quantum();
+        assert!(!m.all_halted());
+        if simmem::fastpath_enabled() {
+            for c in &m.cpus {
+                let (hits, _) = c.icache_stats();
+                assert!(hits > 0, "cpu{} never hit its icache", c.index);
+            }
+        }
+
+        m.mem.unmap(pt, CODE, 1);
+        m.mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+        let halts: Vec<u8> = encode(Instr::Halt).repeat((PAGE_SIZE / 8) as usize);
+        m.mem.kwrite(pt, CODE, &halts).unwrap();
+
+        let exits = m.step_quantum();
+        assert!(
+            m.all_halted(),
+            "stale translation survived the remap (threads={threads}): {exits:?}"
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! `hostpool`: a minimal rayon-style scoped worker pool for the SMP engine.
+//!
+//! The offline build environment has no registry access, so this in-tree
+//! shim provides the one primitive the deterministic SMP engine needs: run
+//! N independent tasks on up to `threads` host worker threads and return
+//! their results **in task order**, regardless of which thread ran what or
+//! in which order they finished.
+//!
+//! Determinism contract:
+//!
+//! * Results are positionally ordered — `map(t, items, f)[i] == f(i,
+//!   items[i])` for any thread count.
+//! * Tasks always run on *spawned* worker threads, even with `threads ==
+//!   1`. This keeps the thread-local environment (tracer capture buffers,
+//!   fault-stream state) identical across `SMP_HOST_THREADS` settings: a
+//!   task never observes the caller thread's thread-locals, so a
+//!   1-thread run and an 8-thread run execute bit-identical code paths.
+//! * Tasks must be mutually independent; nothing here synchronises them.
+//!
+//! Threads are spawned per call via `std::thread::scope` (no lifetime
+//! erasure, no unsafe). One SMP quantum is hundreds of microseconds to
+//! milliseconds of host work, so the ~10 µs spawn cost amortises; the
+//! differential tests in `tests/smp_determinism.rs` cover the ordering
+//! contract under 1, 2 and 8 threads.
+
+#![warn(missing_docs)]
+
+/// Default number of host worker threads: `SMP_HOST_THREADS` if set (and
+/// ≥ 1), otherwise the host's available parallelism, clamped to 8 (more
+/// never helps: quanta are barrier-synchronised and the simulated machine
+/// tops out at 8 CPUs in our experiments).
+pub fn host_threads() -> usize {
+    match std::env::var("SMP_HOST_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(64),
+        _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+    }
+}
+
+/// Runs `f(i, items[i])` for every item on up to `threads` worker threads
+/// and returns the results in item order.
+///
+/// Items are split into contiguous chunks, one per worker; each worker
+/// processes its chunk in order. With `threads == 1` a single worker runs
+/// everything sequentially in item order — the same code path, so results
+/// are identical by construction.
+pub fn map<I, T, F>(threads: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    // Chunk the items up front (preserving global indices), run each chunk
+    // on its own scoped thread, then flatten back in chunk order.
+    let mut chunks: Vec<Vec<(usize, I)>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter().enumerate();
+    loop {
+        let c: Vec<(usize, I)> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(|(i, item)| f(i, item)).collect::<Vec<T>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("hostpool worker panicked")).collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for c in &mut out {
+        flat.append(c);
+    }
+    flat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..23).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = map(threads, items.clone(), |_, x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = map(4, vec![10u64, 20, 30], |i, x| (i, x));
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn tasks_run_off_the_caller_thread_even_single_threaded() {
+        let caller = std::thread::current().id();
+        let ids = map(1, vec![(), ()], |_, ()| std::thread::current().id());
+        for id in ids {
+            assert_ne!(id, caller, "tasks must not see the caller's thread-locals");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u8> = map(4, Vec::<u8>::new(), |_, x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn host_threads_is_at_least_one() {
+        assert!(host_threads() >= 1);
+    }
+}

@@ -21,7 +21,8 @@ use crate::Stack;
 
 /// Builds the three-process dIPC stack.
 pub fn build(p: &OltpParams) -> Stack {
-    let mut w = World::new(KernelConfig::default());
+    let mut w =
+        World::new(KernelConfig { cpus: p.cores, steal: p.steal, ..KernelConfig::default() });
     let sig = Signature::regs(2, 1);
 
     // --- DB process: exports `db_query` ---

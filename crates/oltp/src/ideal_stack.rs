@@ -16,7 +16,8 @@ use crate::Stack;
 
 /// Builds the single-process stack.
 pub fn build(p: &OltpParams) -> Stack {
-    let mut sys = System::new(KernelConfig::default());
+    let mut sys =
+        System::new(KernelConfig { cpus: p.cores, steal: p.steal, ..KernelConfig::default() });
     let pid = sys.k.create_process("ideal-stack", true);
 
     // The database file must be fd 0 (tiers::DB_FD).

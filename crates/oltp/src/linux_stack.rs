@@ -21,6 +21,8 @@ use crate::Stack;
 /// workers and DB workers, paired 1:1 by persistent connections.
 pub fn build(p: &OltpParams) -> Stack {
     let mut sys = System::new(KernelConfig {
+        cpus: p.cores,
+        steal: p.steal,
         wake: simkernel::kernel::WakePolicy::Spread,
         ..KernelConfig::default()
     });

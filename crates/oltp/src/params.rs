@@ -48,6 +48,12 @@ impl OpMix {
 pub struct OltpParams {
     /// Service threads per tier (the paper sweeps 4–512).
     pub concurrency: u64,
+    /// Simulated CPU cores the stack schedules across (the paper's host
+    /// has 4; `SMP_CPUS` overrides the default).
+    pub cores: usize,
+    /// Enable cross-CPU work stealing in the kernel scheduler (see
+    /// [`simkernel::KernelConfig::steal`]).
+    pub steal: bool,
     /// Database queries per operation (dynamic page) when `mix` is off.
     pub queries_per_op: u64,
     /// Optional DVDStore-style transaction mix (browse/login/purchase with
@@ -86,6 +92,8 @@ impl Default for OltpParams {
     fn default() -> Self {
         OltpParams {
             concurrency: 16,
+            cores: simkernel::smp_cpus(4),
+            steal: false,
             queries_per_op: 100,
             mix: None,
             storage_every: 20,

@@ -70,6 +70,12 @@ pub struct KernelConfig {
     pub sys: SysCosts,
     /// Wake placement policy.
     pub wake: WakePolicy,
+    /// Enable cross-CPU work stealing: an idle CPU with no ready-now
+    /// thread pulls a ready, unpinned thread from the most-loaded sibling
+    /// runqueue instead of idle-waiting. Deterministic (victim tie-break:
+    /// lowest CPU index; FIFO pick within the victim). Off by default so
+    /// existing single-runqueue schedules stay byte-identical.
+    pub steal: bool,
 }
 
 impl Default for KernelConfig {
@@ -79,6 +85,7 @@ impl Default for KernelConfig {
             cost: CostModel::default(),
             sys: SysCosts::default(),
             wake: WakePolicy::Local,
+            steal: false,
         }
     }
 }
@@ -224,6 +231,8 @@ pub struct Kernel {
     pub shms: Vec<Shm>,
     /// Wake placement policy.
     pub wake: WakePolicy,
+    /// Cross-CPU work stealing enabled (see [`KernelConfig::steal`]).
+    pub steal: bool,
     /// The kernel-shared CODOMs domain (per-CPU pages, KCS, tracking caches).
     pub kshared_dom: DomainTag,
     /// Cycle until which the (single, FIFO) disk device is busy — rotating
@@ -286,6 +295,7 @@ impl Kernel {
             files: Vec::new(),
             shms: Vec::new(),
             wake: cfg.wake,
+            steal: cfg.steal,
             kshared_dom,
             disk_busy_until: 0,
             live_threads: 0,
@@ -857,6 +867,31 @@ impl Kernel {
         self.cpus[i].runq.iter().any(|t| self.threads[t].ready_at <= clock)
     }
 
+    /// Picks a `(victim cpu, runq position)` for CPU `i` to steal from:
+    /// the most-loaded sibling holding a thread that is ready by `clock`
+    /// and not pinned elsewhere (lowest CPU index breaks load ties; FIFO
+    /// order within the victim). Pure function of simulated state, so the
+    /// choice is deterministic.
+    fn steal_candidate(&self, i: usize, clock: u64) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None; // (load, cpu, pos)
+        for j in 0..self.cpus.len() {
+            if j == i {
+                continue;
+            }
+            let pos = self.cpus[j].runq.iter().position(|t| {
+                let t = &self.threads[t];
+                t.ready_at <= clock && t.affinity.is_none()
+            });
+            if let Some(pos) = pos {
+                let load = self.cpus[j].runq.len();
+                if best.is_none_or(|(l, _, _)| load > l) {
+                    best = Some((load, j, pos));
+                }
+            }
+        }
+        best.map(|(_, j, pos)| (j, pos))
+    }
+
     fn preempt(&mut self, i: usize) {
         let tid = self.cpus[i].current.expect("preempting a running thread");
         self.deschedule(i, ThreadState::Runnable);
@@ -891,18 +926,33 @@ impl Kernel {
         let pick_cost = self.sys.sched_pick;
         self.charge(i, TimeCat::Sched, pick_cost);
         let clock = self.cpus[i].cpu.cycles;
-        // Prefer a thread that is ready now; otherwise idle-advance to the
-        // earliest ready_at.
-        let pos = self.cpus[i].runq.iter().position(|t| self.threads[t].ready_at <= clock).or_else(
-            || {
-                let min = self.cpus[i]
-                    .runq
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, t)| self.threads[*t].ready_at)?;
-                Some(min.0)
-            },
-        );
+        // Prefer a thread that is ready now; with stealing enabled, an
+        // empty-handed CPU next raids the most-loaded sibling runqueue for
+        // a ready, unpinned thread; otherwise idle-advance to the earliest
+        // local ready_at.
+        let mut pos = self.cpus[i].runq.iter().position(|t| self.threads[t].ready_at <= clock);
+        if pos.is_none() && self.steal {
+            if let Some((victim, vpos)) = self.steal_candidate(i, clock) {
+                // The remote-queue scan costs another scheduler pick.
+                self.charge(i, TimeCat::Sched, pick_cost);
+                let tid = self.cpus[victim].runq.remove(vpos).expect("index valid");
+                if simtrace::enabled() {
+                    let now = self.cpus[i].cpu.cycles;
+                    simtrace::instant(simtrace::Track::Cpu(i), now, "steal", "sched");
+                    simtrace::counter("work_steals", 1);
+                }
+                self.cpus[i].runq.push_front(tid);
+                pos = Some(0);
+            }
+        }
+        let pos = pos.or_else(|| {
+            let min = self.cpus[i]
+                .runq
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| self.threads[*t].ready_at)?;
+            Some(min.0)
+        });
         let Some(pos) = pos else { return };
         let tid = self.cpus[i].runq.remove(pos).expect("index valid");
         let ready = self.threads[&tid].ready_at;

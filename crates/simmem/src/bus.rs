@@ -1,0 +1,111 @@
+//! The memory-access interface the VM executes against.
+//!
+//! `cdvm::Cpu` is generic over [`Bus`] so the same (monomorphised)
+//! fetch/check/execute loop can run against two backends:
+//!
+//! * [`crate::Memory`] — the machine's real memory, used by the kernel's
+//!   host-sequential event loop and by single-CPU execution;
+//! * [`crate::ShadowMem`] — a per-CPU copy-on-write view used by the SMP
+//!   quantum engine, where several CPUs execute one quantum each on host
+//!   worker threads and their buffered writes are merged deterministically
+//!   at the barrier.
+//!
+//! The trait deliberately exposes exactly what the executor needs: checked
+//! translation, kernel (protection-bypassing) accesses, the two
+//! invalidation counters (table generation, code epoch) the host-side
+//! caches validate against, and the frame-level hooks of the
+//! decoded-instruction cache.
+
+use crate::mem::MemFault;
+use crate::page::Access;
+use crate::pagetable::{PageTableId, Pte};
+use crate::phys::FrameId;
+use crate::Memory;
+
+/// Memory operations required by the cdvm executor. See the module docs.
+pub trait Bus {
+    /// Translates `addr`, checking the conventional protection bit for
+    /// `access` (the CODOMs checks are layered on top by the VM).
+    fn translate(&self, pt: PageTableId, addr: u64, access: Access) -> Result<Pte, MemFault>;
+
+    /// Looks up the PTE for `addr` without any protection check (kernel-mode
+    /// accesses bypass protection but still require a mapping).
+    fn lookup_pte(&self, pt: PageTableId, addr: u64) -> Option<Pte>;
+
+    /// Kernel read: ignores protection bits, requires mapping.
+    fn kread(&self, pt: PageTableId, addr: u64, buf: &mut [u8]) -> Result<(), MemFault>;
+
+    /// Kernel write: ignores protection bits, requires mapping.
+    fn kwrite(&mut self, pt: PageTableId, addr: u64, buf: &[u8]) -> Result<(), MemFault>;
+
+    /// Kernel little-endian u64 read.
+    fn kread_u64(&self, pt: PageTableId, addr: u64) -> Result<u64, MemFault>;
+
+    /// Kernel little-endian u64 write.
+    fn kwrite_u64(&mut self, pt: PageTableId, addr: u64, v: u64) -> Result<(), MemFault>;
+
+    /// Mutation generation of page table `pt` (host-cache invalidation).
+    fn table_generation(&self, pt: PageTableId) -> u64;
+
+    /// Code epoch (decoded-instruction-cache invalidation).
+    fn code_epoch(&self) -> u64;
+
+    /// Read-only view of a frame's bytes (whole-page predecode).
+    fn frame_bytes(&self, frame: FrameId) -> &[u8];
+
+    /// Marks a frame as backing executed code, so later writes to it bump
+    /// the code epoch.
+    fn mark_code(&mut self, frame: FrameId);
+}
+
+impl Bus for Memory {
+    #[inline]
+    fn translate(&self, pt: PageTableId, addr: u64, access: Access) -> Result<Pte, MemFault> {
+        Memory::translate(self, pt, addr, access)
+    }
+
+    #[inline]
+    fn lookup_pte(&self, pt: PageTableId, addr: u64) -> Option<Pte> {
+        Memory::lookup_pte(self, pt, addr)
+    }
+
+    #[inline]
+    fn kread(&self, pt: PageTableId, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        Memory::kread(self, pt, addr, buf)
+    }
+
+    #[inline]
+    fn kwrite(&mut self, pt: PageTableId, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        Memory::kwrite(self, pt, addr, buf)
+    }
+
+    #[inline]
+    fn kread_u64(&self, pt: PageTableId, addr: u64) -> Result<u64, MemFault> {
+        Memory::kread_u64(self, pt, addr)
+    }
+
+    #[inline]
+    fn kwrite_u64(&mut self, pt: PageTableId, addr: u64, v: u64) -> Result<(), MemFault> {
+        Memory::kwrite_u64(self, pt, addr, v)
+    }
+
+    #[inline]
+    fn table_generation(&self, pt: PageTableId) -> u64 {
+        Memory::table_generation(self, pt)
+    }
+
+    #[inline]
+    fn code_epoch(&self) -> u64 {
+        Memory::code_epoch(self)
+    }
+
+    #[inline]
+    fn frame_bytes(&self, frame: FrameId) -> &[u8] {
+        self.phys().frame_bytes(frame)
+    }
+
+    #[inline]
+    fn mark_code(&mut self, frame: FrameId) {
+        self.phys_mut().mark_code(frame)
+    }
+}

@@ -24,18 +24,22 @@
 //! single page table within a global virtual address space, while regular
 //! processes keep private page tables.
 
+pub mod bus;
 pub mod fastpath;
 pub mod mem;
 pub mod page;
 pub mod pagetable;
 pub mod phys;
+pub mod shadow;
 pub mod tlb;
 pub mod vas;
 
+pub use bus::Bus;
 pub use fastpath::{fastpath_enabled, set_fastpath};
 pub use mem::{MemFault, Memory};
 pub use page::{DomainTag, PageFlags, PAGE_SHIFT, PAGE_SIZE};
 pub use pagetable::{PageTable, PageTableId, Pte};
 pub use phys::{FrameId, PhysMem};
+pub use shadow::{MemSnapshot, ShadowDelta, ShadowMem};
 pub use tlb::{Tlb, TlbConfig, TlbStats};
 pub use vas::{BlockId, GlobalVas, ProcLayout, VasError};

@@ -1,0 +1,450 @@
+//! Per-CPU copy-on-write memory views for the SMP quantum engine.
+//!
+//! During one SMP quantum every CPU executes against its own
+//! [`ShadowMem`]: reads see the quantum-start state of the machine (the
+//! shared [`MemSnapshot`]) plus the CPU's own buffered writes; writes go
+//! into private page copies with byte-exact dirty-range tracking. At the
+//! quantum barrier each CPU's [`ShadowDelta`] is applied to the real
+//! [`crate::Memory`] in CPU-index order, which makes the merged state a
+//! pure function of the quantum-start state — independent of how many host
+//! threads executed the quanta or in which order they finished.
+//!
+//! Dirty tracking is *byte*-granular (not cache-line or page granular), so
+//! two CPUs updating adjacent fields of the same page in the same quantum
+//! never clobber each other; only writes to the *same byte* conflict, and
+//! those resolve deterministically (highest CPU index wins, documented in
+//! ARCHITECTURE.md).
+//!
+//! The shadow carries its own direct-mapped host translation cache — the
+//! per-CPU analogue of the one inside [`crate::Memory`] — because the
+//! shared snapshot is immutable for the duration of the quantum and the
+//! cache is thread-local to the worker. Writes to frames that back
+//! executed code bump a local code-epoch overlay so a CPU's own
+//! self-modifying code invalidates its decoded-instruction cache
+//! in-quantum; cross-CPU invalidation happens at the barrier, where the
+//! merge's `PhysMem::write` calls bump the real code epoch.
+
+use core::cell::Cell;
+use std::collections::HashMap;
+
+use crate::mem::MemFault;
+use crate::page::{page_offset, vpn, Access, PAGE_SIZE};
+use crate::pagetable::{PageTable, PageTableId, Pte};
+use crate::phys::{FrameId, PhysMem};
+use crate::Memory;
+
+/// A read-only view of a [`crate::Memory`]'s physical memory and page
+/// tables, shareable across host threads (`Sync`). Created by
+/// [`crate::Memory::snapshot`]; the borrow keeps the memory immutable for
+/// the snapshot's lifetime.
+#[derive(Clone, Copy)]
+pub struct MemSnapshot<'a> {
+    phys: &'a PhysMem,
+    tables: &'a [PageTable],
+    fastpath: bool,
+}
+
+impl<'a> MemSnapshot<'a> {
+    pub(crate) fn new(phys: &'a PhysMem, tables: &'a [PageTable], fastpath: bool) -> Self {
+        MemSnapshot { phys, tables, fastpath }
+    }
+}
+
+/// Slots in the per-shadow host translation cache (kept smaller than the
+/// main memory's: one shadow exists per CPU per quantum).
+const SHADOW_TCACHE_SLOTS: usize = 256;
+
+#[derive(Clone, Copy)]
+struct TransEntry {
+    pt: usize,
+    vpn: u64,
+    gen: u64,
+    pte: Pte,
+}
+
+impl TransEntry {
+    const EMPTY: TransEntry = TransEntry {
+        pt: usize::MAX,
+        vpn: 0,
+        gen: 0,
+        pte: Pte { frame: FrameId(0), flags: crate::PageFlags::NONE, tag: crate::DomainTag(0) },
+    };
+}
+
+/// A private page copy with byte-exact dirty ranges (half-open, within the
+/// page).
+struct ShadowFrame {
+    bytes: Box<[u8]>,
+    dirty: Vec<(u16, u16)>,
+}
+
+impl ShadowFrame {
+    fn touch(&mut self, start: u64, len: usize) {
+        let s = start as u16;
+        let e = (start as usize + len) as u16;
+        // Sequential writes are overwhelmingly contiguous; extend the last
+        // range when possible, normalise the rest at delta-build time.
+        if let Some(last) = self.dirty.last_mut() {
+            if s <= last.1 && e >= last.0 {
+                last.0 = last.0.min(s);
+                last.1 = last.1.max(e);
+                return;
+            }
+        }
+        self.dirty.push((s, e));
+    }
+}
+
+/// A per-CPU copy-on-write view over a [`MemSnapshot`]. Implements
+/// [`crate::Bus`], so a `cdvm::Cpu` runs against it exactly as it would
+/// against [`crate::Memory`].
+pub struct ShadowMem<'a> {
+    base: MemSnapshot<'a>,
+    overlay: HashMap<u64, ShadowFrame>,
+    /// Frames newly marked as code by this CPU's decoder this quantum.
+    code_marks: Vec<u64>,
+    /// Local additions on top of the snapshot's code epoch (own writes to
+    /// code frames, so a CPU's own icache invalidates in-quantum).
+    epoch_bump: u64,
+    tcache: Box<[Cell<TransEntry>]>,
+}
+
+impl<'a> ShadowMem<'a> {
+    /// Creates an empty shadow over `base`.
+    pub fn new(base: MemSnapshot<'a>) -> ShadowMem<'a> {
+        ShadowMem {
+            base,
+            overlay: HashMap::new(),
+            code_marks: Vec::new(),
+            epoch_bump: 0,
+            tcache: vec![Cell::new(TransEntry::EMPTY); SHADOW_TCACHE_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn lookup_cached(&self, pt: PageTableId, addr: u64) -> Option<Pte> {
+        let table = &self.base.tables[pt.0];
+        if !self.base.fastpath {
+            return table.lookup(addr);
+        }
+        let vpn = vpn(addr);
+        let gen = table.generation();
+        let idx = (vpn as usize ^ pt.0.wrapping_mul(0x9e37_79b9)) & (SHADOW_TCACHE_SLOTS - 1);
+        let e = self.tcache[idx].get();
+        if e.pt == pt.0 && e.vpn == vpn && e.gen == gen {
+            return Some(e.pte);
+        }
+        let pte = table.lookup(addr)?;
+        self.tcache[idx].set(TransEntry { pt: pt.0, vpn, gen, pte });
+        Some(pte)
+    }
+
+    #[inline]
+    fn is_code(&self, frame: FrameId) -> bool {
+        self.base.phys.is_code(frame) || self.code_marks.contains(&frame.0)
+    }
+
+    #[inline]
+    fn read_frame(&self, frame: FrameId, off: u64, buf: &mut [u8]) {
+        match self.overlay.get(&frame.0) {
+            Some(sf) => {
+                let o = off as usize;
+                buf.copy_from_slice(&sf.bytes[o..o + buf.len()]);
+            }
+            None => self.base.phys.read(frame, off, buf),
+        }
+    }
+
+    fn write_frame(&mut self, frame: FrameId, off: u64, buf: &[u8]) {
+        if self.is_code(frame) {
+            self.epoch_bump += 1;
+        }
+        let base = self.base;
+        let sf = self.overlay.entry(frame.0).or_insert_with(|| ShadowFrame {
+            bytes: base.phys.frame_bytes(frame).into(),
+            dirty: Vec::new(),
+        });
+        let o = off as usize;
+        sf.bytes[o..o + buf.len()].copy_from_slice(buf);
+        sf.touch(off, buf.len());
+    }
+
+    /// Consumes the shadow into its deterministic write-set.
+    pub fn into_delta(self) -> ShadowDelta {
+        let mut writes: Vec<FrameWrites> = self
+            .overlay
+            .into_iter()
+            .filter(|(_, sf)| !sf.dirty.is_empty())
+            .map(|(f, sf)| {
+                let mut ranges = sf.dirty;
+                ranges.sort_unstable();
+                // Merge overlapping/adjacent ranges.
+                let mut merged: Vec<(u16, u16)> = Vec::with_capacity(ranges.len());
+                for (s, e) in ranges {
+                    match merged.last_mut() {
+                        Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                        _ => merged.push((s, e)),
+                    }
+                }
+                (f, sf.bytes, merged)
+            })
+            .collect();
+        writes.sort_unstable_by_key(|(f, _, _)| *f);
+        let mut code_marks = self.code_marks;
+        code_marks.sort_unstable();
+        code_marks.dedup();
+        ShadowDelta { writes, code_marks }
+    }
+}
+
+impl Bus for ShadowMem<'_> {
+    #[inline]
+    fn translate(&self, pt: PageTableId, addr: u64, access: Access) -> Result<Pte, MemFault> {
+        let pte = self.lookup_cached(pt, addr).ok_or(MemFault::Unmapped { addr })?;
+        if !pte.flags.contains(access.required_flag()) {
+            return Err(MemFault::Protection { addr, access });
+        }
+        Ok(pte)
+    }
+
+    #[inline]
+    fn lookup_pte(&self, pt: PageTableId, addr: u64) -> Option<Pte> {
+        self.lookup_cached(pt, addr)
+    }
+
+    fn kread(&self, pt: PageTableId, addr: u64, buf: &mut [u8]) -> Result<(), MemFault> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let pte = self.lookup_cached(pt, a).ok_or(MemFault::Unmapped { addr: a })?;
+            let off = page_offset(a);
+            let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
+            self.read_frame(pte.frame, off, &mut buf[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn kwrite(&mut self, pt: PageTableId, addr: u64, buf: &[u8]) -> Result<(), MemFault> {
+        // Validate all pages first so a faulting write is all-or-nothing
+        // (same contract as Memory::kwrite).
+        let mut checked = 0usize;
+        while checked < buf.len() {
+            let a = addr + checked as u64;
+            self.lookup_cached(pt, a).ok_or(MemFault::Unmapped { addr: a })?;
+            checked += (PAGE_SIZE - page_offset(a)) as usize;
+        }
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let pte = self.lookup_cached(pt, a).expect("validated above");
+            let off = page_offset(a);
+            let n = ((PAGE_SIZE - off) as usize).min(buf.len() - done);
+            self.write_frame(pte.frame, off, &buf[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn kread_u64(&self, pt: PageTableId, addr: u64) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.kread(pt, addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn kwrite_u64(&mut self, pt: PageTableId, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.kwrite(pt, addr, &v.to_le_bytes())
+    }
+
+    #[inline]
+    fn table_generation(&self, pt: PageTableId) -> u64 {
+        self.base.tables[pt.0].generation()
+    }
+
+    #[inline]
+    fn code_epoch(&self) -> u64 {
+        self.base.phys.code_epoch() + self.epoch_bump
+    }
+
+    #[inline]
+    fn frame_bytes(&self, frame: FrameId) -> &[u8] {
+        match self.overlay.get(&frame.0) {
+            Some(sf) => &sf.bytes,
+            None => self.base.phys.frame_bytes(frame),
+        }
+    }
+
+    #[inline]
+    fn mark_code(&mut self, frame: FrameId) {
+        if !self.is_code(frame) {
+            self.code_marks.push(frame.0);
+        }
+    }
+}
+
+use crate::bus::Bus;
+
+/// One frame's dirty state in a [`ShadowDelta`]: (frame id, full frame
+/// bytes, merged dirty byte ranges as half-open `(start, end)` offsets).
+type FrameWrites = (u64, Box<[u8]>, Vec<(u16, u16)>);
+
+/// The deterministic write-set of one CPU's quantum: dirty byte ranges per
+/// frame (sorted by frame id) plus new code-frame marks. Applying deltas in
+/// CPU-index order is the SMP merge; `PhysMem::write` bumps the code epoch
+/// for code frames, which is exactly the cross-CPU icache invalidation.
+pub struct ShadowDelta {
+    writes: Vec<FrameWrites>,
+    code_marks: Vec<u64>,
+}
+
+impl ShadowDelta {
+    /// True if the quantum performed no writes and marked no code.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty() && self.code_marks.is_empty()
+    }
+
+    /// Number of dirty bytes carried (diagnostics).
+    pub fn dirty_bytes(&self) -> usize {
+        self.writes
+            .iter()
+            .map(|(_, _, rs)| rs.iter().map(|(s, e)| (e - s) as usize).sum::<usize>())
+            .sum()
+    }
+
+    /// Applies the delta to the real memory. Overlapping writes from
+    /// later-applied deltas win byte-wise.
+    pub fn apply(&self, mem: &mut Memory) {
+        for (f, bytes, ranges) in &self.writes {
+            let frame = FrameId(*f);
+            for &(s, e) in ranges {
+                mem.phys_mut().write(frame, s as u64, &bytes[s as usize..e as usize]);
+            }
+        }
+        for &f in &self.code_marks {
+            mem.phys_mut().mark_code(FrameId(f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainTag, PageFlags};
+
+    fn setup() -> (Memory, PageTableId) {
+        let mut m = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        m.map_anon(pt, 0x1000, 2, PageFlags::RW, DomainTag(1));
+        (m, pt)
+    }
+
+    #[test]
+    fn shadow_reads_base_and_buffers_writes() {
+        let (mut m, pt) = setup();
+        m.kwrite_u64(pt, 0x1000, 7).unwrap();
+        let snap = m.snapshot();
+        let mut s = ShadowMem::new(snap);
+        assert_eq!(Bus::kread_u64(&s, pt, 0x1000).unwrap(), 7);
+        Bus::kwrite_u64(&mut s, pt, 0x1000, 9).unwrap();
+        assert_eq!(Bus::kread_u64(&s, pt, 0x1000).unwrap(), 9, "shadow sees own write");
+        let delta = s.into_delta();
+        assert_eq!(m.kread_u64(pt, 0x1000).unwrap(), 7, "base untouched before apply");
+        delta.apply(&mut m);
+        assert_eq!(m.kread_u64(pt, 0x1000).unwrap(), 9);
+    }
+
+    #[test]
+    fn byte_exact_merge_of_adjacent_writes() {
+        let (mut m, pt) = setup();
+        // Two shadows write adjacent bytes of the same u64; both survive.
+        let d0 = {
+            let mut s = ShadowMem::new(m.snapshot());
+            Bus::kwrite(&mut s, pt, 0x1000, &[0xAA]).unwrap();
+            s.into_delta()
+        };
+        let d1 = {
+            let mut s = ShadowMem::new(m.snapshot());
+            Bus::kwrite(&mut s, pt, 0x1001, &[0xBB]).unwrap();
+            s.into_delta()
+        };
+        d0.apply(&mut m);
+        d1.apply(&mut m);
+        let mut b = [0u8; 2];
+        m.kread(pt, 0x1000, &mut b).unwrap();
+        assert_eq!(b, [0xAA, 0xBB], "no false sharing at any granularity");
+    }
+
+    #[test]
+    fn same_byte_conflict_later_delta_wins() {
+        let (mut m, pt) = setup();
+        let d0 = {
+            let mut s = ShadowMem::new(m.snapshot());
+            Bus::kwrite(&mut s, pt, 0x1000, &[1]).unwrap();
+            s.into_delta()
+        };
+        let d1 = {
+            let mut s = ShadowMem::new(m.snapshot());
+            Bus::kwrite(&mut s, pt, 0x1000, &[2]).unwrap();
+            s.into_delta()
+        };
+        d0.apply(&mut m);
+        d1.apply(&mut m);
+        let mut b = [0u8; 1];
+        m.kread(pt, 0x1000, &mut b).unwrap();
+        assert_eq!(b, [2], "CPU-index-ordered apply: higher index wins");
+    }
+
+    #[test]
+    fn cross_page_write_is_split_and_merged() {
+        let (mut m, pt) = setup();
+        let data: Vec<u8> = (0..=255).collect();
+        let d = {
+            let mut s = ShadowMem::new(m.snapshot());
+            Bus::kwrite(&mut s, pt, 0x1f80, &data).unwrap();
+            s.into_delta()
+        };
+        d.apply(&mut m);
+        let mut out = vec![0u8; 256];
+        m.kread(pt, 0x1f80, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn code_frame_write_bumps_local_epoch_and_real_on_apply() {
+        let (mut m, pt) = setup();
+        let pte = m.translate(pt, 0x1000, Access::Read).unwrap();
+        m.phys_mut().mark_code(pte.frame);
+        let e0 = m.code_epoch();
+        let d = {
+            let mut s = ShadowMem::new(m.snapshot());
+            let se0 = Bus::code_epoch(&s);
+            Bus::kwrite(&mut s, pt, 0x1000, &[0x90]).unwrap();
+            assert!(Bus::code_epoch(&s) > se0, "own icache must invalidate in-quantum");
+            s.into_delta()
+        };
+        d.apply(&mut m);
+        assert!(m.code_epoch() > e0, "merge must invalidate other CPUs' icaches");
+    }
+
+    #[test]
+    fn unmapped_shadow_write_is_atomic() {
+        let (m, pt) = setup();
+        let mut s = ShadowMem::new(m.snapshot());
+        // Write spanning past the mapped region must fail without writing.
+        assert!(Bus::kwrite(&mut s, pt, 0x2ffc, &[0xff; 8]).is_err());
+        assert!(s.into_delta().is_empty());
+    }
+
+    #[test]
+    fn delta_ranges_coalesce() {
+        let (m, pt) = setup();
+        let mut s = ShadowMem::new(m.snapshot());
+        for i in 0..64u64 {
+            Bus::kwrite(&mut s, pt, 0x1000 + i, &[i as u8]).unwrap();
+        }
+        let d = s.into_delta();
+        assert_eq!(d.dirty_bytes(), 64);
+        assert_eq!(d.writes.len(), 1);
+        assert_eq!(d.writes[0].2, vec![(0u16, 64u16)], "contiguous writes coalesce");
+    }
+}

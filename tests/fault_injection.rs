@@ -16,10 +16,12 @@
 //!    and an armed plan with all rates at zero is cycle-identical to a
 //!    disarmed run.
 
+use baselines::asmlib::{sem_post, sem_wait};
 use cdvm::isa::reg::*;
-use cdvm::Instr;
+use cdvm::{Asm, Instr};
 use dipc::{AppSpec, IsoProps, Signature, System, World, DIPC_ERR_FAULT};
 use simfault::{FaultPlan, Site, Trigger};
+use simkernel::kernel::WakePolicy;
 use simkernel::KernelConfig;
 use simmem::Memory;
 
@@ -34,6 +36,30 @@ struct MicroWorld {
     srv_pid: u64,
     cli_pid: u64,
     secret: u64,
+}
+
+/// The caller's dIPC loop: call `echo`, count successes at `counters+0`
+/// and `DIPC_ERR_FAULT` returns at `counters+8`.
+fn emit_cli_main(a: &mut Asm) {
+    a.label("cli_main");
+    a.li_sym(S1, "$data_counters");
+    a.li(S3, 0);
+    a.label("cli_loop");
+    a.push(Instr::Add { rd: A0, rs1: S3, rs2: ZERO });
+    a.jal(RA, "call_srv_echo");
+    a.li(T0, DIPC_ERR_FAULT);
+    a.beq(A0, T0, "cli_err");
+    a.push(Instr::Ld { rd: T1, rs1: S1, imm: 0 });
+    a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+    a.push(Instr::St { rs1: S1, rs2: T1, imm: 0 });
+    a.j("cli_next");
+    a.label("cli_err");
+    a.push(Instr::Ld { rd: T1, rs1: S1, imm: 8 });
+    a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+    a.push(Instr::St { rs1: S1, rs2: T1, imm: 8 });
+    a.label("cli_next");
+    a.push(Instr::Addi { rd: S3, rs1: S3, imm: 1 });
+    a.j("cli_loop");
 }
 
 /// Builds the caller/callee world. The callee holds a recognisable secret
@@ -53,29 +79,9 @@ fn build_micro() -> MicroWorld {
     .data("secret", 64);
     w.build(srv);
 
-    let cli = AppSpec::new("cli", |a| {
-        a.label("cli_main");
-        a.li_sym(S1, "$data_counters");
-        a.li(S3, 0);
-        a.label("cli_loop");
-        a.push(Instr::Add { rd: A0, rs1: S3, rs2: ZERO });
-        a.jal(RA, "call_srv_echo");
-        a.li(T0, DIPC_ERR_FAULT);
-        a.beq(A0, T0, "cli_err");
-        a.push(Instr::Ld { rd: T1, rs1: S1, imm: 0 });
-        a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
-        a.push(Instr::St { rs1: S1, rs2: T1, imm: 0 });
-        a.j("cli_next");
-        a.label("cli_err");
-        a.push(Instr::Ld { rd: T1, rs1: S1, imm: 8 });
-        a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
-        a.push(Instr::St { rs1: S1, rs2: T1, imm: 8 });
-        a.label("cli_next");
-        a.push(Instr::Addi { rd: S3, rs1: S3, imm: 1 });
-        a.j("cli_loop");
-    })
-    .import_live("srv", "echo", sig, IsoProps::LOW, &[S1, S3])
-    .data("counters", 64);
+    let cli = AppSpec::new("cli", emit_cli_main)
+        .import_live("srv", "echo", sig, IsoProps::LOW, &[S1, S3])
+        .data("counters", 64);
     w.build(cli);
     w.link();
 
@@ -214,6 +220,152 @@ fn killed_callee_frames_are_reclaimed_and_secret_unreachable() {
     let err1 = mw.sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0);
     assert!(err1 >= err0 + 20, "caller must keep failing fast after the callee died");
     assert!(mw.sys.k.procs[&simkernel::Pid(mw.cli_pid)].alive);
+}
+
+// ---------------------------------------------------------------------
+// SMP chaos: the same recovery invariants on a 4-CPU kernel, with real
+// cross-CPU IPI traffic (a futex ping-pong pair spread across CPUs by
+// `WakePolicy::Spread`), lost and delayed IPIs, and a process kill whose
+// victim's work is in flight on a different CPU than the driver-level
+// killer.
+// ---------------------------------------------------------------------
+
+struct SmpOutcome {
+    ok: u64,
+    err: u64,
+    rounds: u64,
+    final_cycles: u64,
+    caller_alive: bool,
+    injections: u64,
+    log: String,
+}
+
+/// Builds the SMP micro world and runs it under `plan`: the dIPC echo
+/// caller from [`build_micro`] on one CPU, plus two futex ping-pong
+/// threads whose every wake crosses CPUs (Spread policy on a mostly-idle
+/// 4-CPU machine sends the wake to a remote idle CPU ⇒ an IPI — the
+/// delivery the `IpiLoss`/`IpiDelay` sites sabotage). The pong counter at
+/// `counters+16` proves the pair keeps making progress through lost IPIs.
+fn run_smp_micro(plan: Option<FaultPlan>) -> SmpOutcome {
+    let mut w =
+        World::new(KernelConfig { cpus: 4, wake: WakePolicy::Spread, ..KernelConfig::default() });
+    let sig = Signature::regs(1, 1);
+
+    let srv = AppSpec::new("srv", |a| {
+        a.align(64);
+        a.label("echo");
+        a.push(Instr::Work { rs1: 0, imm: 200 });
+        a.push(Instr::Add { rd: A0, rs1: A0, rs2: A0 });
+        a.push(Instr::Jalr { rd: ZERO, rs1: RA, imm: 0 });
+    })
+    .export("echo", sig, IsoProps::STACK_CONF | IsoProps::REG_INTEGRITY);
+    w.build(srv);
+
+    let cli = AppSpec::new("cli", |a| {
+        emit_cli_main(a);
+        // Ping-pong pair: role in a0 (0 = ping, 1 = pong), futex words at
+        // `$data_futex` + 0 and + 64.
+        a.label("pp_main");
+        a.li_sym(S0, "$data_futex");
+        a.push(Instr::Addi { rd: S2, rs1: S0, imm: 64 });
+        a.li_sym(S1, "$data_counters");
+        a.bne(A0, ZERO, "pp_pong");
+        a.label("pp_ping");
+        sem_post(a, S0);
+        sem_wait(a, S2, "pp_w1");
+        a.push(Instr::Ld { rd: T1, rs1: S1, imm: 16 });
+        a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+        a.push(Instr::St { rs1: S1, rs2: T1, imm: 16 });
+        a.j("pp_ping");
+        a.label("pp_pong");
+        sem_wait(a, S0, "pp_w0");
+        sem_post(a, S2);
+        a.j("pp_pong");
+    })
+    .import_live("srv", "echo", sig, IsoProps::LOW, &[S1, S3])
+    .data("counters", 64)
+    .data("futex", 128);
+    w.build(cli);
+    w.link();
+
+    let cli_pid = w.app("cli").pid.0;
+    let counters = w.app("cli").data["counters"];
+    w.spawn("cli", "cli_main", &[]);
+    w.spawn("cli", "pp_main", &[0]);
+    w.spawn("cli", "pp_main", &[1]);
+    let mut sys = w.sys;
+
+    if let Some(p) = plan {
+        simfault::arm(p);
+    }
+    sys.run_until(|s| {
+        let ok = s.k.mem.kread_u64(Memory::GLOBAL_PT, counters).unwrap_or(0);
+        let err = s.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0);
+        ok + err >= TARGET_OPS || s.k.now_max() >= BUDGET
+    });
+    let out = SmpOutcome {
+        ok: sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters).unwrap_or(0),
+        err: sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 8).unwrap_or(0),
+        rounds: sys.k.mem.kread_u64(Memory::GLOBAL_PT, counters + 16).unwrap_or(0),
+        final_cycles: sys.k.now_max(),
+        caller_alive: sys.k.procs[&simkernel::Pid(cli_pid)].alive,
+        injections: simfault::injections(),
+        log: simfault::log_render(),
+    };
+    simfault::disarm();
+    out
+}
+
+/// IPI-hostile plan: frequent lost and late wake IPIs, spurious futex
+/// wakeups, transient proxy failures, and a mid-run kill of the callee
+/// process while its calls are in flight on another CPU.
+fn smp_hostile_plan(seed: u64, srv_pid: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rate(Site::IpiLoss, 0.05)
+        .rate(Site::IpiDelay, 0.10)
+        .rate(Site::SpuriousWake, 0.02)
+        .rate(Site::SysErr, 0.10)
+        .at(400_000 + seed * 10_000, Trigger::KillProcess { pid: srv_pid })
+}
+
+#[test]
+fn smp_chaos_sweep_recovers_ipi_loss_and_cross_cpu_kill() {
+    let srv_pid = build_micro().srv_pid;
+    let mut ipi_faults = 0u64;
+    for seed in 0..8 {
+        let r = run_smp_micro(Some(smp_hostile_plan(seed, srv_pid)));
+        assert!(
+            r.ok + r.err >= TARGET_OPS,
+            "seed {seed}: hang — only {}+{} ops inside {BUDGET} cycles",
+            r.ok,
+            r.err
+        );
+        assert!(r.final_cycles < BUDGET, "seed {seed}: budget exhausted");
+        assert!(r.caller_alive, "seed {seed}: caller did not survive the cross-CPU kill");
+        assert!(r.err > 0, "seed {seed}: the callee kill must surface as caller errors");
+        assert!(r.rounds > 0, "seed {seed}: ping-pong wedged — a lost IPI became a hang");
+        assert!(r.injections > 0, "seed {seed}: plan injected nothing");
+        ipi_faults +=
+            r.log.lines().filter(|l| l.contains("ipi_loss") || l.contains("ipi_delay")).count()
+                as u64;
+    }
+    assert!(ipi_faults > 0, "the sweep never exercised the IPI fault sites");
+}
+
+#[test]
+fn smp_chaos_replays_bit_identically() {
+    let srv_pid = build_micro().srv_pid;
+    for seed in [5u64, 9] {
+        let a = run_smp_micro(Some(smp_hostile_plan(seed, srv_pid)));
+        let b = run_smp_micro(Some(smp_hostile_plan(seed, srv_pid)));
+        assert_eq!(a.log, b.log, "seed {seed}: injection logs diverged");
+        assert_eq!(a.final_cycles, b.final_cycles, "seed {seed}: cycle counts diverged");
+        assert_eq!(
+            (a.ok, a.err, a.rounds),
+            (b.ok, b.err, b.rounds),
+            "seed {seed}: counters diverged"
+        );
+    }
 }
 
 #[test]
