@@ -1,0 +1,589 @@
+//! Superblock cache — the block-level fast path of the executor.
+//!
+//! The per-page decoded-instruction cache ([`crate::icache`]) removed the
+//! decode cost from the hot loop, but every [`crate::Cpu::step`] still pays
+//! an icache probe, an iTLB access, a generation/epoch compare and the
+//! dispatch overhead *per instruction*. This module lifts those to *block*
+//! granularity: a [`Block`] is a trace of decoded instructions within one
+//! code page — straight-line runs stitched across unconditional same-page
+//! direct jumps (which unrolls tight loops) — ending at the first branch,
+//! indirect or cross-page transfer, system entry, privileged mode/table
+//! switch, undecodable slot, cost-unbounded instruction, or the page
+//! boundary. The executor
+//! validates a block once at entry (translation generation + code epoch +
+//! the CODOMs crossing check, which consults the revocation state) and then
+//! executes its body in a tight loop with no per-instruction fetch
+//! machinery; see `Cpu::run_blocks` in [`crate::cpu`].
+//!
+//! # Exactness
+//!
+//! The block engine is a pure host optimisation — simulated cycles, faults,
+//! TLB statistics and trace output are identical to the interpreter:
+//!
+//! * **Costs** are still charged by the one true `execute()` per
+//!   instruction; only the *deadline check* is hoisted, which is sound
+//!   because a block is entered only when `cycles + max_cost` fits the
+//!   deadline ([`Block::max_cost`] is a static upper bound, so every
+//!   instruction the block runs would also have been run by the
+//!   interpreter). Instructions with unbounded cost (`MemCpy`, `MemSet`,
+//!   register-driven `Work`) are never placed in a block.
+//! * **iTLB accounting** batches the guaranteed same-page hits of the
+//!   non-entry instructions through [`simmem::Tlb::note_hits`], which
+//!   leaves the TLB in exactly the state the per-instruction accesses
+//!   would.
+//! * **Events** (faults, APL misses, `Ecall`, `Halt`) abort the block at
+//!   the precise instruction; the PC is maintained per instruction by
+//!   `execute()`, so fault PCs are exact.
+//! * **Self-modifying writes** are caught by re-checking the code epoch
+//!   after every store-capable instruction; a bump aborts the block so the
+//!   next instruction is re-fetched from fresh bytes, exactly like the
+//!   interpreter's per-step epoch check.
+//!
+//! # Invalidation
+//!
+//! Like the icache there is no shootdown: every entry snapshots the page
+//! table's generation and the global code epoch at formation and is
+//! revalidated on every use (including every *chained* entry), so remaps,
+//! re-protects, re-tags, frame recycling and cross-CPU code deltas applied
+//! at the SMP barrier all force re-formation. Chain links carry a fill
+//! sequence number and are ignored when the target slot was refilled.
+//!
+//! Disable at runtime with `CDVM_NO_BLOCKS=1` (see
+//! [`simmem::blocks_enabled`]); composes with `CDVM_NO_FASTPATH=1`, which
+//! gates the per-instruction caches independently.
+
+use simmem::page::{page_offset, vpn};
+use simmem::{PageTableId, Pte, PAGE_SIZE};
+use std::sync::Arc;
+
+use crate::cost::CostModel;
+use crate::isa::{Instr, INSTR_BYTES};
+
+/// Number of direct-mapped block slots.
+const ENTRIES: usize = 512;
+
+/// Maximum instructions per block. Bounds [`Block::max_cost`] (and with it
+/// the deadline slack a block needs to be dispatched) and formation work.
+const MAX_BLOCK_LEN: usize = 64;
+
+/// One instruction of a block, with its decode-time classification.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockInstr {
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Requires privilege (checked against the entry page's flags).
+    pub privileged: bool,
+    /// May write simulated memory (forces a code-epoch re-check after it).
+    pub may_write: bool,
+}
+
+/// How a block ends — used for chaining to the successor block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockEnd {
+    /// Statically known successor: a direct jump, or fall-through into the
+    /// next page.
+    Jump {
+        /// Successor PC.
+        target: u64,
+    },
+    /// Conditional branch with two static successors.
+    Branch {
+        /// PC if the branch is taken.
+        taken: u64,
+        /// PC of the fall-through path.
+        fall: u64,
+    },
+    /// Successor unknown at decode time (indirect jump, `Ecall`, `Sysret`,
+    /// `PtSwitch`, `Halt`, fault-only instructions, or a formation stop at
+    /// an undecodable/unblockable slot).
+    Dynamic,
+}
+
+/// A pre-validated trace of instructions within one code page (straight-
+/// line runs stitched across unconditional same-page direct jumps).
+///
+/// An empty `instrs` marks a *step-only* entry: the instruction at `entry`
+/// cannot be placed in a block (unbounded cost or undecodable bytes) and
+/// must be executed through the interpreter. Caching the decision avoids
+/// re-deriving it on every dispatch.
+#[derive(Debug)]
+pub struct Block {
+    /// Owning page table.
+    pub pt: PageTableId,
+    /// Entry PC (8-byte aligned).
+    pub entry: u64,
+    /// `pt`'s mutation generation at formation.
+    pub table_gen: u64,
+    /// Global code epoch at formation.
+    pub code_epoch: u64,
+    /// The entry page's translation at formation (the generation match
+    /// proves it is still current).
+    pub pte: Pte,
+    /// The block body (empty for step-only entries).
+    pub instrs: Box<[BlockInstr]>,
+    /// Static upper bound on the cycles one execution of the block can
+    /// consume, including a potential iTLB miss at entry.
+    pub max_cost: u64,
+    /// Successor shape.
+    pub end: BlockEnd,
+}
+
+/// Static per-instruction worst-case cycle cost, or `None` if the cost is
+/// not statically bounded (such instructions are never placed in a block).
+///
+/// Bounds mirror `Cpu::execute` exactly: `base` is always charged first and
+/// the per-op extras are added on top; loads/stores add the data-access
+/// charge plus one dTLB-miss penalty per page touched (an 8-byte access can
+/// straddle two pages).
+fn instr_max_cost(i: &Instr, c: &CostModel) -> Option<u64> {
+    use Instr::*;
+    Some(match i {
+        Mul { .. } => c.mul,
+        Divu { .. } | Remu { .. } => c.div,
+        Ld { .. } | St { .. } => c.base + c.mem + 2 * c.tlb_miss,
+        Ldb { .. } | Stb { .. } => c.base + c.mem + c.tlb_miss,
+        MemCpy { .. } | MemSet { .. } => return None,
+        Work { rs1, imm } => {
+            if *rs1 != 0 {
+                return None;
+            }
+            c.base + (*imm).max(0) as u64
+        }
+        Ecall => c.base + c.ecall,
+        Swapgs => c.swapgs,
+        Wrfsbase { .. } => c.wrfsbase,
+        PtSwitch { .. } => c.pt_switch,
+        Sysret { .. } => c.sysret,
+        TagLookup { .. } => c.base + 1,
+        CapPush { .. } | CapPop { .. } | CapLd { .. } | CapSt { .. } => c.base + c.cap_op + c.mem,
+        CapAplTake { .. }
+        | CapSetBounds { .. }
+        | CapSetPerm { .. }
+        | CapClear { .. }
+        | CapMov { .. }
+        | CapRevoke => c.base + c.cap_op,
+        _ => c.base,
+    })
+}
+
+/// True for instructions that end a block (control transfers, mode/table
+/// switches, and instructions that never retire).
+fn is_terminator(i: &Instr) -> bool {
+    use Instr::*;
+    matches!(
+        i,
+        Jal { .. }
+            | Jalr { .. }
+            | Beq { .. }
+            | Bne { .. }
+            | Bltu { .. }
+            | Bgeu { .. }
+            | Ecall
+            | Halt
+            | Crash
+            | Sysret { .. }
+            | PtSwitch { .. }
+    )
+}
+
+/// True for instructions that can write simulated memory (and therefore
+/// bump the code epoch mid-block).
+fn may_write(i: &Instr) -> bool {
+    use Instr::*;
+    matches!(i, St { .. } | Stb { .. } | CapPush { .. } | CapSt { .. })
+}
+
+/// Decodes a block starting at `entry` (8-byte aligned) from `page` (the
+/// whole backing frame). Always returns a block; if the first slot is not
+/// blockable the result is a step-only entry.
+pub fn form_block(
+    pt: PageTableId,
+    entry: u64,
+    table_gen: u64,
+    code_epoch: u64,
+    pte: Pte,
+    page: &[u8],
+    cost: &CostModel,
+) -> Block {
+    debug_assert!(page_offset(entry).is_multiple_of(INSTR_BYTES));
+    debug_assert_eq!(page.len(), PAGE_SIZE as usize);
+    let page_base = entry - page_offset(entry);
+    let first_slot = (page_offset(entry) / INSTR_BYTES) as usize;
+    let slots = (PAGE_SIZE / INSTR_BYTES) as usize;
+    let mut instrs = Vec::new();
+    // Entry may miss the iTLB; every later fetch is a same-page hit.
+    let mut max_cost = cost.tlb_miss;
+    let mut end = BlockEnd::Dynamic;
+    let mut slot = first_slot;
+    loop {
+        let raw: &[u8; 8] = page[slot * 8..slot * 8 + 8].try_into().expect("page-sized slice");
+        let pc = page_base + slot as u64 * INSTR_BYTES;
+        let Some(instr) = Instr::decode(raw) else {
+            // Undecodable slot: end the block before it; the interpreter
+            // raises the exact BadInstr fault when the PC gets there.
+            if !instrs.is_empty() {
+                end = BlockEnd::Jump { target: pc };
+            }
+            break;
+        };
+        let Some(c) = instr_max_cost(&instr, cost) else {
+            // Cost-unbounded instruction: never inside a block.
+            if !instrs.is_empty() {
+                end = BlockEnd::Jump { target: pc };
+            }
+            break;
+        };
+        max_cost += c;
+        instrs.push(BlockInstr {
+            instr,
+            privileged: instr.is_privileged(),
+            may_write: may_write(&instr),
+        });
+        if is_terminator(&instr) {
+            end = match instr {
+                Instr::Jal { imm, .. } => {
+                    let target = pc.wrapping_add(imm as i64 as u64);
+                    // Trace formation: follow an unconditional direct jump
+                    // whose target sits on this same page (same PTE, so no
+                    // crossing check or iTLB state change is skipped —
+                    // exactly like the straight-line case) and keep
+                    // decoding from the target. This unrolls tight loops
+                    // and stitches jump-linked fragments into one
+                    // superblock, amortising dispatch over many more
+                    // instructions.
+                    if vpn(target) == vpn(entry)
+                        && page_offset(target).is_multiple_of(INSTR_BYTES)
+                        && instrs.len() < MAX_BLOCK_LEN
+                    {
+                        slot = (page_offset(target) / INSTR_BYTES) as usize;
+                        continue;
+                    }
+                    BlockEnd::Jump { target }
+                }
+                Instr::Beq { imm, .. }
+                | Instr::Bne { imm, .. }
+                | Instr::Bltu { imm, .. }
+                | Instr::Bgeu { imm, .. } => BlockEnd::Branch {
+                    taken: pc.wrapping_add(imm as i64 as u64),
+                    fall: pc.wrapping_add(INSTR_BYTES),
+                },
+                _ => BlockEnd::Dynamic,
+            };
+            break;
+        }
+        if instrs.len() == MAX_BLOCK_LEN {
+            end = BlockEnd::Jump { target: pc.wrapping_add(INSTR_BYTES) };
+            break;
+        }
+        if slot + 1 == slots {
+            // Fall-through into the next page: a static successor (the
+            // chained entry performs the cross-page crossing check).
+            end = BlockEnd::Jump { target: pc.wrapping_add(INSTR_BYTES) };
+            break;
+        }
+        slot += 1;
+    }
+    if instrs.is_empty() {
+        max_cost = 0;
+    }
+    Block {
+        pt,
+        entry,
+        table_gen,
+        code_epoch,
+        pte,
+        instrs: instrs.into_boxed_slice(),
+        max_cost,
+        end,
+    }
+}
+
+/// A chain link: the successor block expected at `pc`, by cache slot and
+/// fill sequence number (stale after the slot is refilled).
+#[derive(Clone, Copy, Debug)]
+struct Hint {
+    pc: u64,
+    slot: usize,
+    seq: u64,
+}
+
+struct Slot {
+    block: Option<Arc<Block>>,
+    /// Monotonic fill sequence number; chain hints referencing an older
+    /// sequence are dead.
+    seq: u64,
+    /// Successor hints: `[0]` for the jump/taken edge (doubling as the
+    /// monomorphic target hint for indirect ends), `[1]` for the branch
+    /// fall-through edge.
+    hints: [Option<Hint>; 2],
+}
+
+/// Host-side block-cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Lookups served by a valid cached block.
+    pub hits: u64,
+    /// Lookups that found no valid block (absent or stale).
+    pub misses: u64,
+    /// Blocks formed and installed.
+    pub fills: u64,
+    /// Fills that displaced a live block (direct-mapped conflict).
+    pub evicts: u64,
+    /// Block-to-block transfers taken through a chain hint.
+    pub chains: u64,
+    /// Mid-block aborts after a code-epoch bump (self-modifying write).
+    pub bails: u64,
+}
+
+/// Direct-mapped cache of [`Block`]s keyed by `(page table, entry pc)`.
+pub struct BlockCache {
+    slots: Vec<Slot>,
+    seq: u64,
+    stats: BlockStats,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockCache {
+    /// Creates an empty cache.
+    pub fn new() -> BlockCache {
+        BlockCache {
+            slots: (0..ENTRIES).map(|_| Slot { block: None, seq: 0, hints: [None; 2] }).collect(),
+            seq: 0,
+            stats: BlockStats::default(),
+        }
+    }
+
+    #[inline]
+    fn index(pt: PageTableId, entry: u64) -> usize {
+        // Fold the high address bits down: code spread across pages keeps
+        // the same low slot bits (page starts, common entry offsets), so a
+        // plain low-bit mask would alias every such pair.
+        let k = (entry / INSTR_BYTES) as usize;
+        (k ^ (k >> 9) ^ (k >> 18) ^ pt.0.wrapping_mul(0x9e37_79b9)) & (ENTRIES - 1)
+    }
+
+    #[inline]
+    fn valid(b: &Block, pt: PageTableId, entry: u64, table_gen: u64, code_epoch: u64) -> bool {
+        b.pt == pt && b.entry == entry && b.table_gen == table_gen && b.code_epoch == code_epoch
+    }
+
+    /// Looks up the block entered at `(pt, entry)`, validating it against
+    /// the current table generation and code epoch. Returns the slot index
+    /// (for chain-hint maintenance) and the block.
+    #[inline]
+    pub fn lookup(
+        &mut self,
+        pt: PageTableId,
+        entry: u64,
+        table_gen: u64,
+        code_epoch: u64,
+    ) -> Option<(usize, Arc<Block>)> {
+        let idx = Self::index(pt, entry);
+        if let Some(b) = &self.slots[idx].block {
+            if Self::valid(b, pt, entry, table_gen, code_epoch) {
+                self.stats.hits += 1;
+                return Some((idx, Arc::clone(b)));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs a freshly formed block, returning its slot index and a
+    /// handle to it.
+    pub fn insert(&mut self, block: Block) -> (usize, Arc<Block>) {
+        let idx = Self::index(block.pt, block.entry);
+        let slot = &mut self.slots[idx];
+        if slot.block.is_some() {
+            self.stats.evicts += 1;
+        }
+        self.seq += 1;
+        self.stats.fills += 1;
+        let arc = Arc::new(block);
+        *slot = Slot { block: Some(Arc::clone(&arc)), seq: self.seq, hints: [None; 2] };
+        (idx, arc)
+    }
+
+    /// Follows the chain hint `edge` (0 = jump/taken, 1 = fall-through) of
+    /// `from_slot`, revalidating the target block against the current
+    /// invalidation counters. Returns the target slot and block on success.
+    #[inline]
+    pub fn follow_hint(
+        &mut self,
+        from_slot: usize,
+        edge: usize,
+        pc: u64,
+        pt: PageTableId,
+        table_gen: u64,
+        code_epoch: u64,
+    ) -> Option<(usize, Arc<Block>)> {
+        let h = self.slots[from_slot].hints[edge]?;
+        if h.pc != pc || self.slots[h.slot].seq != h.seq {
+            return None;
+        }
+        let b = self.slots[h.slot].block.as_ref()?;
+        if Self::valid(b, pt, pc, table_gen, code_epoch) {
+            self.stats.chains += 1;
+            self.stats.hits += 1;
+            Some((h.slot, Arc::clone(b)))
+        } else {
+            None
+        }
+    }
+
+    /// Records that the block in `to_slot` follows edge `edge` of
+    /// `from_slot` at `pc`.
+    #[inline]
+    pub fn set_hint(&mut self, from_slot: usize, edge: usize, pc: u64, to_slot: usize) {
+        let seq = self.slots[to_slot].seq;
+        self.slots[from_slot].hints[edge] = Some(Hint { pc, slot: to_slot, seq });
+    }
+
+    /// Records a mid-block abort (for telemetry).
+    #[inline]
+    pub fn note_bail(&mut self) {
+        self.stats.bails += 1;
+    }
+
+    /// Host-side counters.
+    pub fn stats(&self) -> BlockStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmem::{DomainTag, FrameId, PageFlags};
+
+    fn pte() -> Pte {
+        Pte { frame: FrameId(1), flags: PageFlags::RX, tag: DomainTag(1) }
+    }
+
+    fn page_of(instrs: &[Instr]) -> Vec<u8> {
+        let mut bytes = vec![0u8; PAGE_SIZE as usize];
+        for (k, i) in instrs.iter().enumerate() {
+            bytes[k * 8..k * 8 + 8].copy_from_slice(&i.encode());
+        }
+        bytes
+    }
+
+    const PT: PageTableId = PageTableId(0);
+
+    #[test]
+    fn same_page_loop_unrolls_to_max_len() {
+        let cost = CostModel::default();
+        let page = page_of(&[
+            Instr::Addi { rd: 5, rs1: 5, imm: 1 },
+            Instr::Xor { rd: 6, rs1: 5, rs2: 5 },
+            Instr::Jal { rd: 0, imm: -16 },
+        ]);
+        let b = form_block(PT, 0x1000, 1, 2, pte(), &page, &cost);
+        // The same-page backward jump is followed during formation, so the
+        // three-instruction loop body repeats until the length cap; the
+        // block then ends mid-body with a static fall-through edge.
+        assert_eq!(b.instrs.len(), MAX_BLOCK_LEN);
+        assert_eq!(b.end, BlockEnd::Jump { target: 0x1008 });
+        // Entry miss + MAX_BLOCK_LEN base-cost instructions.
+        assert_eq!(b.max_cost, cost.tlb_miss + MAX_BLOCK_LEN as u64 * cost.base);
+    }
+
+    #[test]
+    fn cross_page_direct_jump_ends_block_with_target() {
+        let cost = CostModel::default();
+        let page = page_of(&[
+            Instr::Addi { rd: 5, rs1: 5, imm: 1 },
+            Instr::Jal { rd: 0, imm: PAGE_SIZE as i32 },
+        ]);
+        let b = form_block(PT, 0x1000, 1, 2, pte(), &page, &cost);
+        // A jump off this page cannot be inlined (a different PTE means a
+        // fresh crossing check); it stays a chainable static edge.
+        assert_eq!(b.instrs.len(), 2);
+        assert_eq!(b.end, BlockEnd::Jump { target: 0x1008 + PAGE_SIZE });
+        assert_eq!(b.max_cost, cost.tlb_miss + 2 * cost.base);
+    }
+
+    #[test]
+    fn branch_records_both_edges() {
+        let cost = CostModel::default();
+        let page = page_of(&[
+            Instr::Addi { rd: 5, rs1: 5, imm: -1 },
+            Instr::Bne { rs1: 5, rs2: 0, imm: -8 },
+            Instr::Halt,
+        ]);
+        let b = form_block(PT, 0x2000, 0, 0, pte(), &page, &cost);
+        assert_eq!(b.instrs.len(), 2);
+        assert_eq!(b.end, BlockEnd::Branch { taken: 0x2000, fall: 0x2010 });
+    }
+
+    #[test]
+    fn unbounded_cost_instruction_is_never_inside_a_block() {
+        let cost = CostModel::default();
+        // Work with a register operand has register-driven cost.
+        let page = page_of(&[Instr::Nop, Instr::Work { rs1: 5, imm: 0 }, Instr::Halt]);
+        let b = form_block(PT, 0x1000, 0, 0, pte(), &page, &cost);
+        assert_eq!(b.instrs.len(), 1, "block must stop before the Work");
+        assert_eq!(b.end, BlockEnd::Jump { target: 0x1008 });
+        // At the Work itself: a step-only entry.
+        let b = form_block(PT, 0x1008, 0, 0, pte(), &page, &cost);
+        assert!(b.instrs.is_empty());
+        // Immediate-form Work is statically bounded and blockable.
+        let page = page_of(&[Instr::Work { rs1: 0, imm: 500 }, Instr::Halt]);
+        let b = form_block(PT, 0x1000, 0, 0, pte(), &page, &cost);
+        assert_eq!(b.instrs.len(), 2);
+        assert_eq!(b.max_cost, cost.tlb_miss + (cost.base + 500) + cost.base);
+    }
+
+    #[test]
+    fn undecodable_slot_ends_block_and_is_step_only() {
+        let cost = CostModel::default();
+        let mut page = page_of(&[Instr::Nop, Instr::Nop]);
+        page[16..24].copy_from_slice(&[0xEE; 8]);
+        let b = form_block(PT, 0x1000, 0, 0, pte(), &page, &cost);
+        assert_eq!(b.instrs.len(), 2);
+        assert_eq!(b.end, BlockEnd::Jump { target: 0x1010 });
+        let b = form_block(PT, 0x1010, 0, 0, pte(), &page, &cost);
+        assert!(b.instrs.is_empty(), "undecodable entry is step-only");
+    }
+
+    #[test]
+    fn page_boundary_falls_through_to_next_page() {
+        let cost = CostModel::default();
+        let page = page_of(&[]); // all Nops
+        let last = 0x1000 + PAGE_SIZE - 2 * INSTR_BYTES;
+        let b = form_block(PT, last, 0, 0, pte(), &page, &cost);
+        assert_eq!(b.instrs.len(), 2);
+        assert_eq!(b.end, BlockEnd::Jump { target: 0x1000 + PAGE_SIZE });
+    }
+
+    #[test]
+    fn cache_validates_generation_epoch_and_chains() {
+        let cost = CostModel::default();
+        let page = page_of(&[Instr::Nop, Instr::Jal { rd: 0, imm: -8 }]);
+        let mut cache = BlockCache::new();
+        assert!(cache.lookup(PT, 0x1000, 5, 7).is_none());
+        let b = form_block(PT, 0x1000, 5, 7, pte(), &page, &cost);
+        let (slot, _) = cache.insert(b);
+        assert!(cache.lookup(PT, 0x1000, 5, 7).is_some());
+        assert!(cache.lookup(PT, 0x1000, 6, 7).is_none(), "stale generation");
+        assert!(cache.lookup(PT, 0x1000, 5, 8).is_none(), "stale epoch");
+        // Chain hint round-trip (self-loop).
+        cache.set_hint(slot, 0, 0x1000, slot);
+        assert!(cache.follow_hint(slot, 0, 0x1000, PT, 5, 7).is_some());
+        assert!(cache.follow_hint(slot, 0, 0x1000, PT, 5, 8).is_none(), "stale chained epoch");
+        // Refilling the slot kills outstanding hints via the sequence number.
+        let b2 = form_block(PT, 0x1000, 5, 8, pte(), &page, &cost);
+        cache.set_hint(slot, 0, 0x1000, slot);
+        let seq_hint = cache.slots[slot].hints[0].unwrap().seq;
+        let (slot2, _) = cache.insert(b2);
+        assert_eq!(slot, slot2);
+        assert!(cache.slots[slot].seq > seq_hint);
+        let s = cache.stats();
+        assert!(s.fills == 2 && s.evicts == 1 && s.chains == 1);
+    }
+}

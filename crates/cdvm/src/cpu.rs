@@ -19,10 +19,13 @@ use codoms::{AplCache, Perm};
 use simmem::page::{page_align_down, page_offset, vpn, Access};
 use simmem::{Bus, DomainTag, MemFault, Memory, PageFlags, PageTableId, Pte, Tlb, PAGE_SIZE};
 
+use std::sync::Arc;
+
+use crate::blocks::{form_block, Block, BlockCache, BlockEnd, BlockStats};
 use crate::cost::CostModel;
 use crate::icache::InstrCache;
 use crate::isa::{reg, Instr, INSTR_BYTES};
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, HostCacheStats};
 
 /// A synchronous fault raised by the VM.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +151,27 @@ pub struct Cpu {
     /// Per-page decoded-instruction cache (host fast path; see
     /// [`crate::icache`]).
     icache: InstrCache,
+    /// Whether this CPU uses the superblock engine (sampled from
+    /// [`simmem::blocks_enabled`] at construction). Blocks only engage
+    /// through [`Cpu::run`]; direct [`Cpu::step`] callers always take the
+    /// per-instruction path.
+    blocks: bool,
+    /// Superblock cache (host fast path; see [`crate::blocks`]).
+    bcache: BlockCache,
+    /// Cache-counter snapshot at the last simtrace export, so each
+    /// [`Cpu::run`] emits deltas.
+    reported: HostCacheStats,
+}
+
+/// How one block execution ended (see `Cpu::exec_block`).
+enum BlockOutcome {
+    /// Ran to its terminator; the PC points at the successor.
+    Done,
+    /// Aborted mid-block after a code-epoch bump; the PC points at the
+    /// next (unexecuted) instruction.
+    Bailed,
+    /// A step event stopped execution at the precise instruction.
+    Event(StepEvent),
 }
 
 impl Cpu {
@@ -178,6 +202,9 @@ impl Cpu {
             chaos: simfault::armed(),
             fastpath: simmem::fastpath_enabled(),
             icache: InstrCache::new(),
+            blocks: simmem::blocks_enabled(),
+            bcache: BlockCache::new(),
+            reported: HostCacheStats::default(),
         }
     }
 
@@ -193,6 +220,59 @@ impl Cpu {
     /// Host-side decoded-instruction-cache counters `(hits, fills)`.
     pub fn icache_stats(&self) -> (u64, u64) {
         self.icache.stats()
+    }
+
+    /// Host-side superblock-cache counters.
+    pub fn block_stats(&self) -> BlockStats {
+        self.bcache.stats()
+    }
+
+    /// The full host-side cache counter set (icache + block cache).
+    pub fn host_cache_stats(&self) -> HostCacheStats {
+        let (icache_hits, icache_misses, icache_fills, icache_evicts) = self.icache.full_stats();
+        let b = self.bcache.stats();
+        HostCacheStats {
+            icache_hits,
+            icache_misses,
+            icache_fills,
+            icache_evicts,
+            block_hits: b.hits,
+            block_misses: b.misses,
+            block_fills: b.fills,
+            block_evicts: b.evicts,
+            block_chains: b.chains,
+            block_bails: b.bails,
+        }
+    }
+
+    /// Refreshes [`ExecStats::caches`] from the live cache counters and,
+    /// while tracing, exports the deltas since the previous export as
+    /// `host.*` simtrace counters (these appear only in the metrics
+    /// summary, never in the Chrome/folded trace streams). Called at the
+    /// end of every [`Cpu::run`].
+    fn sync_cache_stats(&mut self) {
+        let now = self.host_cache_stats();
+        self.exec_stats.caches = now;
+        if self.instrument {
+            let d = now.delta(&self.reported);
+            for (name, v) in [
+                ("host.icache_hits", d.icache_hits),
+                ("host.icache_misses", d.icache_misses),
+                ("host.icache_fills", d.icache_fills),
+                ("host.icache_evicts", d.icache_evicts),
+                ("host.block_hits", d.block_hits),
+                ("host.block_misses", d.block_misses),
+                ("host.block_fills", d.block_fills),
+                ("host.block_evicts", d.block_evicts),
+                ("host.block_chains", d.block_chains),
+                ("host.block_bails", d.block_bails),
+            ] {
+                if v > 0 {
+                    simtrace::counter(name, v);
+                }
+            }
+            self.reported = now;
+        }
     }
 
     /// Reads a register (x0 reads as zero).
@@ -227,6 +307,23 @@ impl Cpu {
         deadline: u64,
     ) -> RunExit {
         self.refresh_instrumentation();
+        let exit = if self.blocks {
+            self.run_blocks(mem, rev, cost, deadline)
+        } else {
+            self.run_interp(mem, rev, cost, deadline)
+        };
+        self.sync_cache_stats();
+        exit
+    }
+
+    /// The per-instruction run loop (used when the block engine is off).
+    fn run_interp<M: Bus>(
+        &mut self,
+        mem: &mut M,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        deadline: u64,
+    ) -> RunExit {
         let mut retired = 0;
         while self.cycles < deadline {
             match self.step(mem, rev, cost) {
@@ -235,6 +332,231 @@ impl Cpu {
             }
         }
         RunExit { event: StepEvent::Retired, retired, deadline: true }
+    }
+
+    /// The block-dispatch run loop: resolve a superblock at the PC,
+    /// execute it whole when its worst-case cost fits the deadline, and
+    /// chain to the statically known successor while the budget holds.
+    /// Anything that cannot be proven safe at block granularity — an
+    /// unblockable PC, a near-deadline entry, a mid-block code-epoch bump —
+    /// falls back to the interpreter for exactly one instruction and
+    /// re-dispatches, so simulated behavior is identical by construction.
+    fn run_blocks<M: Bus>(
+        &mut self,
+        mem: &mut M,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        deadline: u64,
+    ) -> RunExit {
+        let mut retired = 0u64;
+        'dispatch: while self.cycles < deadline {
+            let Some((mut slot, mut block)) = self.lookup_or_form(mem, cost) else {
+                // Unblockable PC (misaligned, or unmapped — the interpreter
+                // raises the exact fault).
+                match self.step(mem, rev, cost) {
+                    StepEvent::Retired => retired += 1,
+                    ev => return RunExit { event: ev, retired, deadline: false },
+                }
+                continue;
+            };
+            loop {
+                // A completed block (or chain) may have consumed the rest
+                // of the budget; mirror the interpreter's per-step check.
+                if self.cycles >= deadline {
+                    return RunExit { event: StepEvent::Retired, retired, deadline: true };
+                }
+                if block.instrs.is_empty() || self.cycles.saturating_add(block.max_cost) >= deadline
+                {
+                    // Step-only entry, or the block's worst case might
+                    // cross the deadline: interpret one instruction (the
+                    // interpreter re-checks the deadline per step).
+                    match self.step(mem, rev, cost) {
+                        StepEvent::Retired => retired += 1,
+                        ev => return RunExit { event: ev, retired, deadline: false },
+                    }
+                    continue 'dispatch;
+                }
+                match self.exec_block(&block, mem, rev, cost, &mut retired) {
+                    BlockOutcome::Event(ev) => {
+                        return RunExit { event: ev, retired, deadline: false }
+                    }
+                    BlockOutcome::Bailed => {
+                        self.bcache.note_bail();
+                        continue 'dispatch;
+                    }
+                    BlockOutcome::Done => {}
+                }
+                // Chain across the static edge when the successor is known.
+                match self.next_chained(slot, &block, mem, cost) {
+                    Some((s, b)) => {
+                        slot = s;
+                        block = b;
+                    }
+                    None => continue 'dispatch,
+                }
+            }
+        }
+        RunExit { event: StepEvent::Retired, retired, deadline: true }
+    }
+
+    /// Resolves the superblock entered at the current PC: cache lookup
+    /// validated against the live table generation and code epoch, with
+    /// formation (and `mark_code` of the backing frame, so later writes
+    /// bump the epoch) on miss. `None` when no block can exist at this PC.
+    fn lookup_or_form<M: Bus>(
+        &mut self,
+        mem: &mut M,
+        cost: &CostModel,
+    ) -> Option<(usize, Arc<Block>)> {
+        let pc = self.pc;
+        if !page_offset(pc).is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        let pt = self.active_pt;
+        let table_gen = mem.table_generation(pt);
+        let code_epoch = mem.code_epoch();
+        if let Some(found) = self.bcache.lookup(pt, pc, table_gen, code_epoch) {
+            return Some(found);
+        }
+        let pte = mem.translate(pt, pc, Access::Exec).ok()?;
+        let block =
+            form_block(pt, pc, table_gen, code_epoch, pte, mem.frame_bytes(pte.frame), cost);
+        mem.mark_code(pte.frame);
+        Some(self.bcache.insert(block))
+    }
+
+    /// Follows `block`'s successor edge to the block at the new PC,
+    /// preferring the recorded chain hint and falling back to a cache
+    /// probe (recording a fresh hint). Static edges (jump target, branch
+    /// taken/fall-through) chain unconditionally; indirect ends chain
+    /// through a last-target inline cache. Every chained entry revalidates
+    /// the target against the current generation and epoch.
+    fn next_chained<M: Bus>(
+        &mut self,
+        slot: usize,
+        block: &Block,
+        mem: &mut M,
+        cost: &CostModel,
+    ) -> Option<(usize, Arc<Block>)> {
+        let pc = self.pc;
+        let edge = match block.end {
+            BlockEnd::Jump { target } if target == pc => 0,
+            BlockEnd::Branch { taken, .. } if taken == pc => 0,
+            BlockEnd::Branch { fall, .. } if fall == pc => 1,
+            // Indirect ends chain through a monomorphic inline cache: the
+            // hint records the last observed target PC and only matches
+            // when the dynamic target repeats (call/return pairs usually
+            // do). A different target is a plain hint miss.
+            BlockEnd::Dynamic => 0,
+            _ => return None,
+        };
+        let pt = self.active_pt;
+        let table_gen = mem.table_generation(pt);
+        let code_epoch = mem.code_epoch();
+        if let Some(found) = self.bcache.follow_hint(slot, edge, pc, pt, table_gen, code_epoch) {
+            return Some(found);
+        }
+        let (to_slot, b) = self.lookup_or_form(mem, cost)?;
+        self.bcache.set_hint(slot, edge, pc, to_slot);
+        Some((to_slot, b))
+    }
+
+    /// Performs the per-entry validation the interpreter does per fetch —
+    /// one real iTLB access (with its miss charge) and the CODOMs
+    /// crossing check against the entry page — then executes the block
+    /// body. All bookkeeping (crossing counters, trace events, fault
+    /// injection, `ExecStats`, x0 hard-wiring) matches [`Cpu::step`]
+    /// exactly; the batched iTLB hits for the non-entry fetches are
+    /// settled through [`simmem::Tlb::note_hits`] on every exit path.
+    fn exec_block<M: Bus>(
+        &mut self,
+        block: &Block,
+        mem: &mut M,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        retired: &mut u64,
+    ) -> BlockOutcome {
+        let pc = self.pc;
+        debug_assert_eq!(pc, block.entry);
+        if !self.itlb.access(self.active_pt, pc) {
+            self.cycles += cost.tlb_miss;
+        }
+        let pte = block.pte;
+        if !self.kernel_mode && pte.tag != self.cur_dom {
+            match self.checker.check_jump(
+                self.cur_dom,
+                &pte,
+                pc,
+                &mut self.apl_cache,
+                &self.caps,
+                rev,
+                self.thread,
+            ) {
+                Ok(_) => {
+                    self.cur_dom = pte.tag;
+                    self.domain_crossings += 1;
+                    if self.instrument {
+                        simtrace::counter("apl_hit", 1);
+                        simtrace::domain_crossing(self.index, pc, self.cycles);
+                    }
+                    if self.chaos && simfault::should(simfault::Site::Revoke, self.cycles) {
+                        rev.revoke_all(self.thread);
+                    }
+                }
+                Err(CheckError::AplMiss { tag }) => {
+                    return BlockOutcome::Event(StepEvent::AplMiss(tag))
+                }
+                Err(e) => return BlockOutcome::Event(self.fault(FaultKind::Codoms(e))),
+            }
+        } else if self.kernel_mode {
+            self.cur_dom = pte.tag;
+        }
+        self.cur_page_flags = pte.flags;
+
+        for (k, bi) in block.instrs.iter().enumerate() {
+            if bi.privileged
+                && !self.kernel_mode
+                && !self.cur_page_flags.contains(PageFlags::PRIV_CAP)
+            {
+                self.itlb.note_hits(block.pt, block.entry, k as u64);
+                return BlockOutcome::Event(self.fault(FaultKind::Privilege));
+            }
+            let ev = self.execute(bi.instr, mem, rev, cost);
+            match ev {
+                StepEvent::Retired => {
+                    self.retired += 1;
+                    *retired += 1;
+                    if self.instrument {
+                        self.exec_stats.record(&bi.instr);
+                    }
+                    self.regs[0] = 0;
+                    if bi.may_write && mem.code_epoch() != block.code_epoch {
+                        // Self-modifying write: the rest of the block may
+                        // be stale. The PC already points at the next
+                        // instruction; re-dispatch from fresh bytes.
+                        self.itlb.note_hits(block.pt, block.entry, k as u64);
+                        return BlockOutcome::Bailed;
+                    }
+                }
+                StepEvent::Ecall | StepEvent::Halt => {
+                    // Counts toward `self.retired` but, like the interpreter
+                    // loop, not toward the run's retired total.
+                    self.retired += 1;
+                    if self.instrument {
+                        self.exec_stats.record(&bi.instr);
+                    }
+                    self.regs[0] = 0;
+                    self.itlb.note_hits(block.pt, block.entry, k as u64);
+                    return BlockOutcome::Event(ev);
+                }
+                ev => {
+                    self.itlb.note_hits(block.pt, block.entry, k as u64);
+                    return BlockOutcome::Event(ev);
+                }
+            }
+        }
+        self.itlb.note_hits(block.pt, block.entry, (block.instrs.len() - 1) as u64);
+        BlockOutcome::Done
     }
 
     /// Executes a single instruction.
@@ -335,7 +657,13 @@ impl Cpu {
                     }
                 }
                 let mut bytes = [0u8; 8];
-                if mem.kread(self.active_pt, pc, &mut bytes).is_err() {
+                if page_offset(pc) <= PAGE_SIZE - INSTR_BYTES {
+                    // Within-page fetch: read straight from the frame the
+                    // miss path just translated instead of walking the
+                    // page table a second time through `kread`.
+                    let off = page_offset(pc) as usize;
+                    bytes.copy_from_slice(&mem.frame_bytes(pte.frame)[off..off + 8]);
+                } else if mem.kread(self.active_pt, pc, &mut bytes).is_err() {
                     return self.fault(FaultKind::Mem(MemFault::Unmapped { addr: pc }));
                 }
                 match Instr::decode(&bytes) {

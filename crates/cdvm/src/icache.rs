@@ -53,7 +53,9 @@ struct DecodedPage {
 pub struct InstrCache {
     entries: Vec<Option<DecodedPage>>,
     hits: u64,
+    misses: u64,
     fills: u64,
+    evicts: u64,
 }
 
 impl Default for InstrCache {
@@ -65,7 +67,13 @@ impl Default for InstrCache {
 impl InstrCache {
     /// Creates an empty cache.
     pub fn new() -> InstrCache {
-        InstrCache { entries: (0..ENTRIES).map(|_| None).collect(), hits: 0, fills: 0 }
+        InstrCache {
+            entries: (0..ENTRIES).map(|_| None).collect(),
+            hits: 0,
+            misses: 0,
+            fills: 0,
+            evicts: 0,
+        }
     }
 
     #[inline]
@@ -86,12 +94,20 @@ impl InstrCache {
         table_gen: u64,
         code_epoch: u64,
     ) -> Option<(Pte, Option<Instr>)> {
-        let e = self.entries[Self::index(pt, vpn)].as_ref()?;
-        if e.pt == pt && e.vpn == vpn && e.table_gen == table_gen && e.code_epoch == code_epoch {
-            self.hits += 1;
-            Some((e.pte, e.instrs[slot]))
-        } else {
-            None
+        match self.entries[Self::index(pt, vpn)].as_ref() {
+            Some(e)
+                if e.pt == pt
+                    && e.vpn == vpn
+                    && e.table_gen == table_gen
+                    && e.code_epoch == code_epoch =>
+            {
+                self.hits += 1;
+                Some((e.pte, e.instrs[slot]))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
         }
     }
 
@@ -112,13 +128,23 @@ impl InstrCache {
             instrs[k] = Instr::decode(raw);
         }
         self.fills += 1;
-        self.entries[Self::index(pt, vpn)] =
-            Some(DecodedPage { pt, vpn, table_gen, code_epoch, pte, instrs });
+        let e = &mut self.entries[Self::index(pt, vpn)];
+        if matches!(e, Some(old) if !(old.pt == pt && old.vpn == vpn)) {
+            // Displacing a different live page (direct-mapped conflict);
+            // refreshing a stale entry for the same page is not an evict.
+            self.evicts += 1;
+        }
+        *e = Some(DecodedPage { pt, vpn, table_gen, code_epoch, pte, instrs });
     }
 
     /// `(hits, fills)` — host-side telemetry for `simspeed`.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.fills)
+    }
+
+    /// `(hits, misses, fills, evicts)` — the full counter set.
+    pub fn full_stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.fills, self.evicts)
     }
 }
 

@@ -20,12 +20,16 @@
 //!   loop.
 //! * [`icache`] — the host-side per-page decoded-instruction cache behind
 //!   the fetch fast path (disable with `CDVM_NO_FASTPATH=1`).
+//! * [`blocks`] — the superblock cache: straight-line instruction runs
+//!   validated once per entry and dispatched block-to-block with batched
+//!   cost accounting (disable with `CDVM_NO_BLOCKS=1`).
 //! * [`machine`] — the deterministic SMP machine: N CPUs in a
 //!   barrier-synchronised quantum schedule, executed host-parallel on a
 //!   worker pool (`SMP_HOST_THREADS`) with bit-identical results for any
 //!   thread count.
 
 pub mod asm;
+pub mod blocks;
 pub mod cost;
 pub mod cpu;
 pub mod disasm;
@@ -35,9 +39,10 @@ pub mod machine;
 pub mod stats;
 
 pub use asm::{Asm, Reloc, RelocKind};
+pub use blocks::{BlockCache, BlockStats};
 pub use cost::{CostModel, MachineConfig};
 pub use cpu::{Cpu, Fault, FaultKind, RunExit, StepEvent};
 pub use icache::InstrCache;
 pub use isa::{reg, CapReg, Instr, Reg, INSTR_BYTES};
 pub use machine::{quantum_cycles, Machine, DEFAULT_QUANTUM};
-pub use stats::{ExecStats, InstrClass, TraceRing};
+pub use stats::{ExecStats, HostCacheStats, InstrClass, TraceRing};

@@ -29,7 +29,8 @@
 //! bit-identical for any `SMP_HOST_THREADS` value — including 1 — and
 //! across repeated runs. Writes to executed code pages bump the code epoch
 //! when the delta is applied, so every other CPU's decoded-instruction
-//! cache and translation cache revalidate before its next quantum; page
+//! cache, translation cache and superblock cache (including its chain
+//! hints, [`crate::blocks`]) revalidate before its next quantum; page
 //! remaps between quanta bump the table generation with the same effect.
 //!
 //! With one CPU the machine skips the shadow/merge machinery entirely and

@@ -94,10 +94,80 @@ impl InstrClass {
     }
 }
 
-/// Per-class retirement counters.
+/// Host-side cache counters for the two fetch fast paths: the per-page
+/// decoded-instruction cache ([`crate::icache`]) and the superblock cache
+/// ([`crate::blocks`]). Pure host telemetry — none of these influence
+/// simulated cycles. Refreshed into [`ExecStats::caches`] at the end of
+/// every `Cpu::run`, and exported to the simtrace metrics summary as
+/// `host.*` counters while tracing is enabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostCacheStats {
+    /// Decoded-instruction-cache lookups served.
+    pub icache_hits: u64,
+    /// Decoded-instruction-cache lookups that found no valid entry.
+    pub icache_misses: u64,
+    /// Whole-page predecodes installed.
+    pub icache_fills: u64,
+    /// Fills that displaced a different live page.
+    pub icache_evicts: u64,
+    /// Block-cache lookups served by a valid block.
+    pub block_hits: u64,
+    /// Block-cache lookups that found no valid block.
+    pub block_misses: u64,
+    /// Blocks formed and installed.
+    pub block_fills: u64,
+    /// Block fills that displaced a live block.
+    pub block_evicts: u64,
+    /// Block-to-block transfers taken through a chain hint.
+    pub block_chains: u64,
+    /// Mid-block aborts after a code-epoch bump.
+    pub block_bails: u64,
+}
+
+impl HostCacheStats {
+    /// Component-wise difference (`self - earlier`), for delta reporting.
+    pub fn delta(&self, earlier: &HostCacheStats) -> HostCacheStats {
+        HostCacheStats {
+            icache_hits: self.icache_hits - earlier.icache_hits,
+            icache_misses: self.icache_misses - earlier.icache_misses,
+            icache_fills: self.icache_fills - earlier.icache_fills,
+            icache_evicts: self.icache_evicts - earlier.icache_evicts,
+            block_hits: self.block_hits - earlier.block_hits,
+            block_misses: self.block_misses - earlier.block_misses,
+            block_fills: self.block_fills - earlier.block_fills,
+            block_evicts: self.block_evicts - earlier.block_evicts,
+            block_chains: self.block_chains - earlier.block_chains,
+            block_bails: self.block_bails - earlier.block_bails,
+        }
+    }
+
+    /// Block-cache hit rate in `[0, 1]` (0 when there were no lookups).
+    pub fn block_hit_rate(&self) -> f64 {
+        let total = self.block_hits + self.block_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.block_hits as f64 / total as f64
+        }
+    }
+
+    /// Decoded-instruction-cache hit rate in `[0, 1]`.
+    pub fn icache_hit_rate(&self) -> f64 {
+        let total = self.icache_hits + self.icache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.icache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-class retirement counters, plus the host-side cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     counts: [u64; 6],
+    /// Host-side fetch-cache counters (see [`HostCacheStats`]).
+    pub caches: HostCacheStats,
 }
 
 impl ExecStats {

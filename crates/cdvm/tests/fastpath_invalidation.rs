@@ -243,6 +243,7 @@ fn cross_cpu_code_patch_invalidates_peer_icache_at_barrier() {
     // the barrier, and — because CPU 0's predecode marked the frame as
     // code — bumps the code epoch, forcing CPU 0's decoded block and
     // translation to revalidate before its next quantum.
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     for threads in [1usize, 2] {
         // CPU 0: spin until the patch site yields a0 == 2.
         let mut a = Asm::new();
@@ -284,7 +285,10 @@ fn cross_cpu_code_patch_invalidates_peer_icache_at_barrier() {
         assert_eq!(m.cpus[0].reg(A0), 2, "stale decoded block after cross-CPU patch");
         // The patch cannot land before the first barrier.
         assert!(quanta >= 2, "patch visible too early: {quanta} quanta");
-        if simmem::fastpath_enabled() {
+        if simmem::blocks_enabled() {
+            let b = m.cpus[0].block_stats();
+            assert!(b.hits > 0, "spin loop should have hit the block cache");
+        } else if simmem::fastpath_enabled() {
             let (hits, _) = m.cpus[0].icache_stats();
             assert!(hits > 0, "spin loop should have warmed the icache");
         }
@@ -297,6 +301,7 @@ fn remap_between_quanta_halts_all_cpus_via_generation_bump() {
     // both CPUs execute from) must invalidate every CPU's cached
     // translation and decoded block: the fresh frame is filled with
     // `Halt`, so any stale fetch would keep spinning forever.
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     for threads in [1usize, 2] {
         let mut a = Asm::new();
         a.label("loop");
@@ -321,7 +326,11 @@ fn remap_between_quanta_halts_all_cpus_via_generation_bump() {
         m.step_quantum();
         m.step_quantum();
         assert!(!m.all_halted());
-        if simmem::fastpath_enabled() {
+        if simmem::blocks_enabled() {
+            for c in &m.cpus {
+                assert!(c.block_stats().hits > 0, "cpu{} never hit its block cache", c.index);
+            }
+        } else if simmem::fastpath_enabled() {
             for c in &m.cpus {
                 let (hits, _) = c.icache_stats();
                 assert!(hits > 0, "cpu{} never hit its icache", c.index);
@@ -339,4 +348,241 @@ fn remap_between_quanta_halts_all_cpus_via_generation_bump() {
             "stale translation survived the remap (threads={threads}): {exits:?}"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Superblock-engine invalidation: the block cache must revalidate at
+// every entry (including chained entries), bail mid-block on
+// self-modification, and re-run the CODOMs crossing check — which sees
+// revocation-epoch bumps — on every chained transfer. Each scenario runs
+// with the engine forced on and forced off and must end identically.
+// ---------------------------------------------------------------------
+
+use codoms::apl::Perm;
+use codoms::cap::{CapKind, Capability};
+
+/// `set_blocks` is process-global; tests that toggle it — or that condition
+/// assertions on `blocks_enabled()` around a `Machine` run — hold this lock
+/// so a concurrent toggle can't desynchronise a CPU's sampled mode from the
+/// global the assertion reads.
+static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const CODE3: u64 = 0x30_000;
+
+/// Runs `cpu` through `Cpu::run` (so the block engine engages when
+/// enabled) until an event, with a generous cycle budget.
+fn run_to_event(cpu: &mut Cpu, mem: &mut Memory, rev: &mut RevocationTable) -> StepEvent {
+    let cost = CostModel::default();
+    let exit = cpu.run(mem, rev, &cost, cpu.cycles + 50_000_000);
+    assert!(!exit.deadline, "program did not reach an event");
+    exit.event
+}
+
+#[test]
+fn store_into_own_block_bails_and_executes_patched_tail() {
+    // A single straight-line block stores over one of its *own* later
+    // instructions (run-time proxy patching compressed into one block).
+    // The engine must abort at the store and re-form from fresh bytes so
+    // the patched instruction — not the decoded-at-entry one — executes.
+    let patched = u64::from_le_bytes(Instr::Movi { rd: A0, imm: 222 }.encode());
+    let patch_addr = CODE + 5 * 8; // the `Movi a0, 111` below
+    let mut a = Asm::new();
+    a.push(Instr::Movi { rd: T1, imm: patched as u32 as i32 });
+    a.push(Instr::Movhi { rd: T1, imm: (patched >> 32) as u32 as i32 });
+    a.push(Instr::Movi { rd: T0, imm: patch_addr as u32 as i32 });
+    a.push(Instr::Movhi { rd: T0, imm: (patch_addr >> 32) as u32 as i32 });
+    a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    a.push(Instr::Movi { rd: A0, imm: 111 }); // overwritten by the store
+    a.push(Instr::Halt);
+    let code = a.finish().bytes;
+
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut outcomes = Vec::new();
+    for blocks in [false, true] {
+        simmem::set_blocks(Some(blocks));
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RWX, DomainTag(1));
+        mem.kwrite(pt, CODE, &code).unwrap();
+        let mut cpu = Cpu::new(0);
+        cpu.pc = CODE;
+        cpu.cur_dom = DomainTag(1);
+        cpu.thread = 1;
+        let mut rev = RevocationTable::new();
+        let ev = run_to_event(&mut cpu, &mut mem, &mut rev);
+        assert_eq!(ev, StepEvent::Halt);
+        assert_eq!(cpu.reg(A0), 222, "stale block tail executed (blocks={blocks})");
+        if blocks {
+            assert!(cpu.block_stats().bails >= 1, "expected a mid-block bail");
+        }
+        outcomes.push((ev, cpu.cycles, cpu.retired, cpu.reg(A0)));
+        simmem::set_blocks(None);
+    }
+    assert_eq!(outcomes[0], outcomes[1], "block engine diverged from interpreter");
+}
+
+#[test]
+fn remapped_chain_target_is_reformed_not_followed() {
+    // Block A ends in a direct jump to page B and the A→B chain hint is
+    // warm; remapping B (new frame, new code) bumps the table generation,
+    // so the chained entry must re-form B instead of running stale code.
+    let mut a = Asm::new();
+    a.push(Instr::Jal { rd: 0, imm: (CODE3 - CODE) as i32 });
+    let jump = a.finish().bytes;
+    let body = |v: i32| {
+        let mut a = Asm::new();
+        a.push(Instr::Movi { rd: A0, imm: v });
+        a.push(Instr::Halt);
+        a.finish().bytes
+    };
+
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for blocks in [false, true] {
+        simmem::set_blocks(Some(blocks));
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE, &jump).unwrap();
+        mem.map_anon(pt, CODE3, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE3, &body(5)).unwrap();
+        let mut cpu = Cpu::new(0);
+        cpu.cur_dom = DomainTag(1);
+        cpu.thread = 1;
+        let mut rev = RevocationTable::new();
+        // Two warm runs: the second takes the A→B edge through the hint.
+        for _ in 0..2 {
+            cpu.pc = CODE;
+            assert_eq!(run_to_event(&mut cpu, &mut mem, &mut rev), StepEvent::Halt);
+            assert_eq!(cpu.reg(A0), 5);
+        }
+        if blocks {
+            assert!(cpu.block_stats().chains >= 1, "warm jump should chain");
+        }
+        mem.unmap(pt, CODE3, 1);
+        mem.map_anon(pt, CODE3, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE3, &body(7)).unwrap();
+        cpu.pc = CODE;
+        assert_eq!(run_to_event(&mut cpu, &mut mem, &mut rev), StepEvent::Halt);
+        assert_eq!(cpu.reg(A0), 7, "stale chained block survived remap (blocks={blocks})");
+        simmem::set_blocks(None);
+    }
+}
+
+#[test]
+fn revocation_between_chained_blocks_faults_at_the_crossing() {
+    // Domain 1's only authority to enter domain 2 is a synchronous
+    // capability. The dom-2 block revokes it (CapRevoke) and control
+    // bounces back through dom 1 to the same entry — which is exactly the
+    // chained A→B transfer the engine has a warm hint for. The chained
+    // entry must still run the full crossing check and deny the jump,
+    // cycle-identically with the interpreter.
+    let mut a = Asm::new();
+    a.push(Instr::Jal { rd: 0, imm: (CODE3 - CODE) as i32 });
+    let enter = a.finish().bytes;
+    let mut a = Asm::new();
+    a.push(Instr::CapRevoke);
+    a.push(Instr::Jal { rd: 0, imm: (CODE as i64 - (CODE3 + 8) as i64) as i32 });
+    let revoke_and_return = a.finish().bytes;
+
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut outcomes = Vec::new();
+    for blocks in [false, true] {
+        simmem::set_blocks(Some(blocks));
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE, &enter).unwrap();
+        mem.map_anon(pt, CODE3, 1, PageFlags::RX, DomainTag(2));
+        mem.kwrite(pt, CODE3, &revoke_and_return).unwrap();
+        let mut cpu = Cpu::new(0);
+        cpu.pc = CODE;
+        cpu.cur_dom = DomainTag(1);
+        cpu.thread = 1;
+        // Dom 1 has no APL grant into dom 2; only the sync capability
+        // authorises the crossing. Dom 2 returns via a plain APL grant.
+        cpu.apl_cache.fill(DomainTag(1), Apl::new());
+        let mut back = Apl::new();
+        back.set(DomainTag(1), Perm::Read);
+        cpu.apl_cache.fill(DomainTag(2), back);
+        cpu.caps[0] = Some(Capability {
+            base: CODE3,
+            len: PAGE_SIZE,
+            perm: Perm::Read,
+            kind: CapKind::Sync { owner: 1, epoch: 0 },
+            origin: DomainTag(2),
+        });
+        let mut rev = RevocationTable::new();
+        let ev = run_to_event(&mut cpu, &mut mem, &mut rev);
+        match ev {
+            StepEvent::Fault(f) => {
+                assert_eq!(f.pc, CODE3, "denial must land on the re-entry (blocks={blocks})");
+                assert!(
+                    matches!(f.kind, FaultKind::Codoms(_)),
+                    "expected CODOMs denial after revocation, got {:?}",
+                    f.kind
+                );
+            }
+            ev => panic!("revoked crossing was allowed (blocks={blocks}): {ev:?}"),
+        }
+        assert_eq!(cpu.domain_crossings, 2, "one entry, one return before the denial");
+        outcomes.push((ev, cpu.cycles, cpu.retired, cpu.domain_crossings));
+        simmem::set_blocks(None);
+    }
+    assert_eq!(outcomes[0], outcomes[1], "block engine diverged from interpreter");
+}
+
+#[test]
+fn smp_cross_cpu_patch_invalidates_chained_blocks_at_barrier() {
+    // The cross-CPU patch scenario with the block engine forced on: CPU 0's
+    // spin loop runs as chained superblocks, CPU 1's store lands at the
+    // barrier and bumps the code epoch (CPU 0's block formation marked the
+    // frame as code), and CPU 0 must re-form — not chain into — its stale
+    // loop blocks in the next quantum.
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simmem::set_blocks(Some(true));
+    for threads in [1usize, 2] {
+        let mut a = Asm::new();
+        a.label("loop");
+        a.push(Instr::Movi { rd: A0, imm: 1 }); // patch site (CODE + 0)
+        a.li(T0, 2);
+        a.beq(A0, T0, "done");
+        a.j("loop");
+        a.label("done");
+        a.push(Instr::Halt);
+        let spin = a.finish().bytes;
+
+        let patched = u64::from_le_bytes(encode(Instr::Movi { rd: A0, imm: 2 }));
+        let mut a = Asm::new();
+        a.li(T1, patched);
+        a.li(T2, CODE);
+        a.push(Instr::St { rs1: T2, rs2: T1, imm: 0 });
+        a.push(Instr::Halt);
+        let patcher = a.finish().bytes;
+
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RWX, DomainTag(1));
+        mem.kwrite(pt, CODE, &spin).unwrap();
+        mem.map_anon(pt, CODE2, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE2, &patcher).unwrap();
+
+        let mut m = Machine::new(2, mem, CostModel::default());
+        m.set_quantum(2_000);
+        m.set_host_threads(threads);
+        for (i, cpu) in m.cpus.iter_mut().enumerate() {
+            cpu.pc = if i == 0 { CODE } else { CODE2 };
+            cpu.cur_dom = DomainTag(1);
+            cpu.thread = 1 + i as u64;
+        }
+        let quanta = m.run_to_halt(1_000);
+        assert!(m.all_halted(), "spin never saw the patch (threads={threads})");
+        assert_eq!(m.cpus[0].reg(A0), 2, "stale chained block after cross-CPU patch");
+        assert!(quanta >= 2, "patch visible too early: {quanta} quanta");
+        let b = m.cpus[0].block_stats();
+        assert!(b.chains > 0, "spin loop should have chained (threads={threads})");
+        // At least the loop blocks' initial formation plus the post-patch
+        // re-formation.
+        assert!(b.fills >= 3, "expected re-formation after the patch, stats: {b:?}");
+    }
+    simmem::set_blocks(None);
 }

@@ -1,14 +1,19 @@
-//! Process-wide switch for the host-side fast-path caches.
+//! Process-wide switches for the host-side fast-path caches.
 //!
-//! The fast path (the [`crate::Memory`] translation cache and the cdvm
-//! decoded-instruction cache) is a pure host-speed optimisation: simulated
-//! cycles, fault sequences and trace output are identical with it on or
-//! off. `CDVM_NO_FASTPATH=1` disables it for differential testing, and
-//! [`set_fastpath`] overrides the environment programmatically so one
-//! process (e.g. the `simspeed` bench) can compare both configurations.
+//! Two independent switches, both pure host-speed optimisations with
+//! identical simulated cycles, fault sequences and trace output on or off:
 //!
-//! The flag is sampled once at construction time by [`crate::Memory::new`]
-//! and `cdvm::Cpu::new`, never per access.
+//! * the **fast path** (the [`crate::Memory`] translation cache and the
+//!   cdvm per-instruction decoded cache) — `CDVM_NO_FASTPATH=1` disables
+//!   it, [`set_fastpath`] overrides the environment programmatically;
+//! * the **block engine** (the cdvm superblock cache, which dispatches
+//!   straight-line runs of instructions with batched validation and cost
+//!   accounting) — `CDVM_NO_BLOCKS=1` disables it, [`set_blocks`]
+//!   overrides. The two compose: all four on/off combinations are valid
+//!   and differentially tested.
+//!
+//! The flags are sampled once at construction time by
+//! [`crate::Memory::new`] and `cdvm::Cpu::new`, never per access.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
@@ -16,9 +21,20 @@ use std::sync::OnceLock;
 /// 0 = follow the environment, 1 = force on, 2 = force off.
 static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
+/// Same encoding, for the block engine.
+static BLOCKS_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
 fn env_default() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("CDVM_NO_FASTPATH") {
+        Ok(v) => !(v == "1" || v.eq_ignore_ascii_case("true")),
+        Err(_) => true,
+    })
+}
+
+fn blocks_env_default() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("CDVM_NO_BLOCKS") {
         Ok(v) => !(v == "1" || v.eq_ignore_ascii_case("true")),
         Err(_) => true,
     })
@@ -46,12 +62,38 @@ pub fn set_fastpath(enabled: Option<bool>) {
     OVERRIDE.store(v, Ordering::Relaxed);
 }
 
+/// Whether newly constructed CPUs should use the superblock engine.
+pub fn blocks_enabled() -> bool {
+    match BLOCKS_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => blocks_env_default(),
+    }
+}
+
+/// Overrides the `CDVM_NO_BLOCKS` environment variable for this process
+/// (same semantics as [`set_fastpath`]). Only affects CPUs constructed
+/// *after* the call.
+pub fn set_blocks(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    BLOCKS_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The overrides are process-global; serialize the tests that toggle
+    /// them so the harness's parallel execution can't interleave.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn override_wins_and_reverts() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         set_fastpath(Some(false));
         assert!(!fastpath_enabled());
         set_fastpath(Some(true));
@@ -59,5 +101,19 @@ mod tests {
         set_fastpath(None);
         // Whatever the environment says, the call must not panic.
         let _ = fastpath_enabled();
+    }
+
+    #[test]
+    fn blocks_override_is_independent() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_blocks(Some(false));
+        set_fastpath(Some(true));
+        assert!(!blocks_enabled());
+        assert!(fastpath_enabled());
+        set_blocks(Some(true));
+        assert!(blocks_enabled());
+        set_blocks(None);
+        set_fastpath(None);
+        let _ = blocks_enabled();
     }
 }

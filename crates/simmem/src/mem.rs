@@ -14,7 +14,10 @@
 //! in front of it. Entries carry the owning table's mutation generation and
 //! are only served while the generation still matches, so any `map`, `unmap`,
 //! `protect` or `set_tag` implicitly invalidates them — there is no explicit
-//! shootdown to forget.
+//! shootdown to forget. The cdvm decoded-instruction cache and superblock
+//! cache consume [`Memory::table_generation`] the same way: every cached
+//! page, block and chain hint revalidates against it (and against the code
+//! epoch) on use.
 //!
 //! The cache is invisible to the simulation: it is *not* the simulated
 //! [`crate::Tlb`] (whose hit/miss cycle accounting is charged by the VM and

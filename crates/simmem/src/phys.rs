@@ -8,11 +8,12 @@
 //! single simulated load, store and instruction fetch.
 //!
 //! The slab also tracks which frames back *executed code*: the cdvm
-//! decoded-instruction cache marks a frame when it predecodes it, and any
-//! later write to (or free of) a marked frame bumps [`PhysMem::code_epoch`],
-//! which invalidates all predecoded blocks. This is how self-modifying and
-//! runtime-patched code (dIPC generates proxies by patching templates,
-//! §6.1.1) stays coherent with the fast path.
+//! decoded-instruction cache and superblock cache mark a frame when they
+//! predecode it, and any later write to (or free of) a marked frame bumps
+//! [`PhysMem::code_epoch`], which invalidates every predecoded page, every
+//! formed superblock and every block chain hint at its next use. This is
+//! how self-modifying and runtime-patched code (dIPC generates proxies by
+//! patching templates, §6.1.1) stays coherent with the fast path.
 
 use crate::page::PAGE_SIZE;
 

@@ -20,9 +20,11 @@
 //! shared snapshot is immutable for the duration of the quantum and the
 //! cache is thread-local to the worker. Writes to frames that back
 //! executed code bump a local code-epoch overlay so a CPU's own
-//! self-modifying code invalidates its decoded-instruction cache
-//! in-quantum; cross-CPU invalidation happens at the barrier, where the
-//! merge's `PhysMem::write` calls bump the real code epoch.
+//! self-modifying code invalidates its decoded-instruction cache and
+//! superblock cache in-quantum; cross-CPU invalidation happens at the
+//! barrier, where the merge's `PhysMem::write` calls bump the real code
+//! epoch (every epoch consumer — icache, block cache, chain hints —
+//! revalidates at its next use).
 
 use core::cell::Cell;
 use std::collections::HashMap;

@@ -1,14 +1,19 @@
 //! Differential proof that the fast-path caches are invisible: the same
-//! programs, run with the caches enabled and with `CDVM_NO_FASTPATH=1`,
-//! must produce identical simulated cycles, retired counts, faults, and
+//! programs, run in every combination of the two host fast paths (the
+//! per-page decoded-instruction cache and the superblock engine), must
+//! produce identical simulated cycles, retired counts, faults, and
 //! byte-identical trace output.
 //!
 //! Two layers:
-//!  * a full-system check driving the `fig5` binary as a subprocess in both
-//!    modes (the env var is sampled at process start) and comparing stdout
-//!    plus exported traces byte-for-byte;
-//!  * in-process CPU-level checks (via `simmem::set_fastpath`) covering
-//!    fault paths a figure binary never takes.
+//!  * a full-system check driving the `fig5` binary as a subprocess in all
+//!    four `CDVM_NO_FASTPATH` × `CDVM_NO_BLOCKS` modes (the env vars are
+//!    sampled at process start) and comparing stdout plus exported traces
+//!    byte-for-byte (the metrics summary is compared after dropping the
+//!    `host.*` cache-telemetry counters, which legitimately differ between
+//!    modes — everything simulated must match exactly);
+//!  * in-process CPU-level checks (via `simmem::set_fastpath` /
+//!    `simmem::set_blocks`) covering fault paths a figure binary never
+//!    takes, driven through `Cpu::run` so the block engine engages.
 
 use std::process::Command;
 
@@ -23,37 +28,77 @@ fn scratch(name: &str) -> String {
     p.to_str().expect("utf-8 path").to_string()
 }
 
-fn run_fig5(no_fastpath: bool, trace: &str) -> String {
+/// The four host-cache mode combinations: `(fastpath, blocks)`.
+const MODES: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+fn mode_name(fastpath: bool, blocks: bool) -> String {
+    let on = |b: bool| if b { "on" } else { "off" };
+    format!("fastpath={} blocks={}", on(fastpath), on(blocks))
+}
+
+fn run_fig5(fastpath: bool, blocks: bool, trace: &str) -> String {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig5"));
     cmd.env_remove("BENCH_SCALE").env("DIPC_TRACE", trace);
-    if no_fastpath {
-        cmd.env("CDVM_NO_FASTPATH", "1");
-    } else {
+    if fastpath {
         cmd.env_remove("CDVM_NO_FASTPATH");
+    } else {
+        cmd.env("CDVM_NO_FASTPATH", "1");
+    }
+    if blocks {
+        cmd.env_remove("CDVM_NO_BLOCKS");
+    } else {
+        cmd.env("CDVM_NO_BLOCKS", "1");
     }
     let out = cmd.output().expect("fig5 runs");
     assert!(out.status.success(), "fig5 failed: {}", String::from_utf8_lossy(&out.stderr));
     String::from_utf8(out.stdout).expect("utf-8 stdout")
 }
 
-/// Full-system cycle and trace identity: every simulated number fig5 prints
-/// (latencies, breakdowns) and every trace byte must be unaffected by the
-/// host-side caches.
+/// Drops the `host.*` cache-telemetry counter lines from a metrics summary.
+/// These report host-side cache behavior (hits, fills, chains), which by
+/// design differs between cache modes; every simulated line must remain.
+fn strip_host_counters(summary: &[u8]) -> String {
+    let text = std::str::from_utf8(summary).expect("utf-8 summary");
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with("host."))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Full-system cycle and trace identity across the 2×2 mode matrix: every
+/// simulated number fig5 prints (latencies, breakdowns) and every trace
+/// byte must be unaffected by the host-side caches.
 #[test]
-fn fig5_identical_with_and_without_fastpath() {
-    let t_fast = scratch("fast.json");
-    let t_slow = scratch("slow.json");
-    let out_fast = run_fig5(false, &t_fast);
-    let out_slow = run_fig5(true, &t_slow);
-    assert_eq!(out_fast, out_slow, "fast path changed simulated results");
-    for suffix in ["", ".folded", ".summary.txt"] {
-        let a = std::fs::read(format!("{t_fast}{suffix}")).expect("fast trace written");
-        let b = std::fs::read(format!("{t_slow}{suffix}")).expect("slow trace written");
-        assert_eq!(a, b, "fast path changed trace output ({suffix:?})");
+fn fig5_identical_across_mode_matrix() {
+    let runs: Vec<(String, String, String)> = MODES
+        .iter()
+        .map(|&(fastpath, blocks)| {
+            let name = mode_name(fastpath, blocks);
+            let trace = scratch(&format!("f{}b{}.json", fastpath as u8, blocks as u8));
+            let stdout = run_fig5(fastpath, blocks, &trace);
+            (name, stdout, trace)
+        })
+        .collect();
+    let (_, base_stdout, base_trace) = &runs[0];
+    let base_chrome = std::fs::read(base_trace).expect("trace written");
+    let base_folded = std::fs::read(format!("{base_trace}.folded")).expect("folded written");
+    let base_summary = strip_host_counters(
+        &std::fs::read(format!("{base_trace}.summary.txt")).expect("summary written"),
+    );
+    for (name, stdout, trace) in &runs[1..] {
+        assert_eq!(stdout, base_stdout, "{name}: simulated results diverged");
+        let chrome = std::fs::read(trace).expect("trace written");
+        assert_eq!(chrome, base_chrome, "{name}: chrome trace diverged");
+        let folded = std::fs::read(format!("{trace}.folded")).expect("folded written");
+        assert_eq!(folded, base_folded, "{name}: folded trace diverged");
+        let summary = strip_host_counters(
+            &std::fs::read(format!("{trace}.summary.txt")).expect("summary written"),
+        );
+        assert_eq!(summary, base_summary, "{name}: summary (sans host.*) diverged");
     }
-    for p in [&t_fast, &t_slow] {
+    for (_, _, trace) in &runs {
         for suffix in ["", ".folded", ".summary.txt"] {
-            let _ = std::fs::remove_file(format!("{p}{suffix}"));
+            let _ = std::fs::remove_file(format!("{trace}{suffix}"));
         }
     }
 }
@@ -61,9 +106,9 @@ fn fig5_identical_with_and_without_fastpath() {
 const CODE: u64 = 0x10_000;
 const DATA: u64 = 0x20_000;
 
-/// `set_fastpath` is process-global and the harness runs tests on parallel
-/// threads; every in-process differential run holds this lock so one
-/// test's toggle can't leak into another's construction.
+/// `set_fastpath`/`set_blocks` are process-global and the harness runs
+/// tests on parallel threads; every in-process differential run holds this
+/// lock so one test's toggle can't leak into another's construction.
 static FASTPATH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Observable end state of a CPU-level run.
@@ -72,19 +117,23 @@ struct Outcome {
     event: StepEvent,
     cycles: u64,
     retired: u64,
-    steps: u64,
+    run_retired: u64,
+    deadline: bool,
     pc: u64,
     a0: u64,
+    crossings: u64,
     itlb_hits: u64,
     itlb_misses: u64,
     dtlb_hits: u64,
     dtlb_misses: u64,
 }
 
-/// Runs `code` on a fresh machine (constructed *after* the fast-path switch
-/// is set) until a non-retired event or `max_steps`.
-fn run_program(code: &[u8], enable_fastpath: bool, max_steps: u64) -> Outcome {
-    simmem::set_fastpath(Some(enable_fastpath));
+/// Runs `code` on a fresh machine (constructed *after* the cache switches
+/// are set) through `Cpu::run` — so the superblock engine engages when
+/// enabled — until a non-retired event or the cycle budget.
+fn run_program(code: &[u8], fastpath: bool, blocks: bool, budget: u64) -> Outcome {
+    simmem::set_fastpath(Some(fastpath));
+    simmem::set_blocks(Some(blocks));
     let mut mem = Memory::new();
     let pt = Memory::GLOBAL_PT;
     mem.map_anon(pt, CODE, 2, PageFlags::RX, DomainTag(1));
@@ -96,22 +145,18 @@ fn run_program(code: &[u8], enable_fastpath: bool, max_steps: u64) -> Outcome {
     cpu.thread = 1;
     let mut rev = RevocationTable::new();
     let cost = CostModel::default();
-    let mut steps = 0;
-    let event = loop {
-        steps += 1;
-        match cpu.step(&mut mem, &mut rev, &cost) {
-            StepEvent::Retired if steps < max_steps => continue,
-            ev => break ev,
-        }
-    };
+    let exit = cpu.run(&mut mem, &mut rev, &cost, budget);
     simmem::set_fastpath(None);
+    simmem::set_blocks(None);
     Outcome {
-        event,
+        event: exit.event,
         cycles: cpu.cycles,
         retired: cpu.retired,
-        steps,
+        run_retired: exit.retired,
+        deadline: exit.deadline,
         pc: cpu.pc,
         a0: cpu.reg(A0),
+        crossings: cpu.domain_crossings,
         itlb_hits: cpu.itlb.stats().hits,
         itlb_misses: cpu.itlb.stats().misses,
         dtlb_hits: cpu.dtlb.stats().hits,
@@ -121,9 +166,11 @@ fn run_program(code: &[u8], enable_fastpath: bool, max_steps: u64) -> Outcome {
 
 fn assert_identical(name: &str, code: &[u8]) {
     let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let slow = run_program(code, false, 300_000);
-    let fast = run_program(code, true, 300_000);
-    assert_eq!(slow, fast, "{name}: fast path diverged");
+    let base = run_program(code, false, false, 10_000_000);
+    for (fastpath, blocks) in MODES.into_iter().skip(1) {
+        let got = run_program(code, fastpath, blocks, 10_000_000);
+        assert_eq!(got, base, "{name} [{}]: diverged", mode_name(fastpath, blocks));
+    }
 }
 
 #[test]
@@ -138,6 +185,30 @@ fn loops_and_data_traffic_are_cycle_identical() {
     a.bne(T3, ZERO, "loop");
     a.push(Instr::Halt);
     assert_identical("st/ld loop", &a.finish().bytes);
+}
+
+#[test]
+fn deadline_boundaries_are_identical() {
+    // RunExit boundaries must land on the same instruction in every mode
+    // (this is what keeps SMP quantum schedules identical): sweep a range
+    // of deadlines across a loop that a single block would overrun.
+    let mut a = Asm::new();
+    a.li(T0, DATA);
+    a.li(T3, 5000);
+    a.label("loop");
+    a.push(Instr::St { rs1: T0, rs2: T3, imm: 0 });
+    a.push(Instr::Addi { rd: T3, rs1: T3, imm: -1 });
+    a.bne(T3, ZERO, "loop");
+    a.push(Instr::Halt);
+    let code = a.finish().bytes;
+    let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for budget in [1u64, 7, 64, 65, 66, 100, 1000, 4999, 5001] {
+        let base = run_program(&code, false, false, budget);
+        for (fastpath, blocks) in MODES.into_iter().skip(1) {
+            let got = run_program(&code, fastpath, blocks, budget);
+            assert_eq!(got, base, "deadline {budget} [{}]: diverged", mode_name(fastpath, blocks));
+        }
+    }
 }
 
 #[test]
@@ -172,13 +243,45 @@ fn faults_are_identical() {
     a.li(T0, CODE);
     a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
     assert_identical("store-to-rx", &a.finish().bytes);
+
+    // Privileged instruction from unprivileged code, mid straight-line run.
+    let mut a = Asm::new();
+    a.push(Instr::Addi { rd: T0, rs1: ZERO, imm: 7 });
+    a.push(Instr::Addi { rd: T1, rs1: ZERO, imm: 9 });
+    a.push(Instr::Swapgs);
+    a.push(Instr::Halt);
+    assert_identical("privilege-mid-block", &a.finish().bytes);
+}
+
+/// The icache-miss fetch path charges exactly what the pre-reuse code did:
+/// one iTLB page-walk penalty for the cold page plus the base cost of each
+/// instruction (regression guard for the single-translate miss path).
+#[test]
+fn miss_path_cycle_charges_are_unchanged() {
+    let mut a = Asm::new();
+    a.push(Instr::Nop);
+    a.push(Instr::Halt);
+    let code = a.finish().bytes;
+    let cost = CostModel::default();
+    let expect = cost.tlb_miss + 2 * cost.base;
+    let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for (fastpath, blocks) in MODES {
+        let got = run_program(&code, fastpath, blocks, 10_000_000);
+        assert_eq!(got.event, StepEvent::Halt);
+        assert_eq!(
+            got.cycles,
+            expect,
+            "cold-page miss charge changed [{}]",
+            mode_name(fastpath, blocks)
+        );
+    }
 }
 
 #[test]
 fn self_modifying_code_is_identical() {
     // The program overwrites its own upcoming instruction (a Movi imm
-    // patch), exactly the shape of dIPC's runtime proxy patching; both
-    // modes must execute the patched instruction.
+    // patch), exactly the shape of dIPC's runtime proxy patching; every
+    // mode must execute the patched instruction.
     let patched = u64::from_le_bytes(Instr::Movi { rd: A0, imm: 222 }.encode());
     let mut a = Asm::new();
     // Warm the code page so the decoded block is hot before the patch.
@@ -200,8 +303,9 @@ fn self_modifying_code_is_identical() {
     let bytes = a.finish().bytes;
     let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // The page must be writable as well as executable for the self-patch.
-    let run = |enable: bool| {
-        simmem::set_fastpath(Some(enable));
+    let run = |fastpath: bool, blocks: bool| {
+        simmem::set_fastpath(Some(fastpath));
+        simmem::set_blocks(Some(blocks));
         let mut mem = Memory::new();
         let pt = Memory::GLOBAL_PT;
         mem.map_anon(pt, CODE, 2, PageFlags::RWX, DomainTag(1));
@@ -212,19 +316,16 @@ fn self_modifying_code_is_identical() {
         cpu.thread = 1;
         let mut rev = RevocationTable::new();
         let cost = CostModel::default();
-        let mut ev = StepEvent::Retired;
-        for _ in 0..100_000 {
-            ev = cpu.step(&mut mem, &mut rev, &cost);
-            if ev != StepEvent::Retired {
-                break;
-            }
-        }
+        let exit = cpu.run(&mut mem, &mut rev, &cost, 10_000_000);
         simmem::set_fastpath(None);
-        (ev, cpu.cycles, cpu.retired, cpu.reg(A0))
+        simmem::set_blocks(None);
+        (exit.event, cpu.cycles, cpu.retired, cpu.reg(A0))
     };
-    let slow = run(false);
-    let fast = run(true);
-    assert_eq!(slow, fast, "self-modifying program diverged");
-    assert_eq!(slow.0, StepEvent::Halt);
-    assert_eq!(slow.3, 222, "patched instruction must execute");
+    let base = run(false, false);
+    for (fastpath, blocks) in MODES.into_iter().skip(1) {
+        let got = run(fastpath, blocks);
+        assert_eq!(got, base, "self-modifying program diverged [{}]", mode_name(fastpath, blocks));
+    }
+    assert_eq!(base.0, StepEvent::Halt);
+    assert_eq!(base.3, 222, "patched instruction must execute");
 }

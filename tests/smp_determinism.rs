@@ -151,8 +151,15 @@ fn n1_machine_is_byte_identical_to_direct_cpu_path() {
     }
 }
 
+/// `simmem::set_blocks` is process-global; any test whose assertion
+/// compares two traced runs (their summaries embed the mode-dependent
+/// `host.*` cache counters) holds this lock so a concurrent mode toggle
+/// can't split a comparison pair across modes.
+static MODE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn n1_machine_trace_is_byte_identical_to_direct_cpu_path() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let direct = run_direct(10_000, true);
     let machine = run_machine(1, 1, 10_000, true);
     assert_eq!(direct, machine);
@@ -183,6 +190,7 @@ fn n4_bit_identical_across_host_thread_counts_and_repeats() {
 
 #[test]
 fn n4_trace_bit_identical_across_host_thread_counts() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let reference = run_machine(4, 1, 10_000, true);
     for threads in [2usize, 8] {
         assert_eq!(reference, run_machine(4, threads, 10_000, true), "threads={threads}");
@@ -194,6 +202,7 @@ fn n4_trace_bit_identical_across_host_thread_counts() {
 /// `DIPC_TRACE`-under-SMP contract.
 #[test]
 fn concurrent_emitters_produce_valid_chrome_trace() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let run = || {
         simtrace::enable("/dev/null");
         let mut m = Machine::new(2, build_mem(2), CostModel::default());
@@ -211,4 +220,58 @@ fn concurrent_emitters_produce_valid_chrome_trace() {
     assert_eq!((json.clone(), folded, summary), run(), "trace must be reproducible");
     let stats = simtrace::check::validate_chrome_json(&json).expect("well-formed JSON");
     assert_eq!(stats.unbalanced_begins, 0, "no torn spans from interleaving");
+}
+
+/// The superblock engine must not perturb SMP determinism: the N=4
+/// machine's full fingerprint — architectural state, merged memory, and
+/// quantum boundaries — is byte-identical with the engine forced on and
+/// forced off, for every host thread count. (This is the block-mode
+/// variant of the cross-thread-count identity above.)
+#[test]
+fn n4_identical_with_and_without_block_engine() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simmem::set_blocks(Some(false));
+    let interp = run_machine(4, 1, 10_000, false);
+    simmem::set_blocks(Some(true));
+    for threads in [1usize, 2, 8] {
+        let got = run_machine(4, threads, 10_000, false);
+        assert_eq!(interp, got, "block engine changed SMP outcome (threads={threads})");
+    }
+    simmem::set_blocks(None);
+}
+
+/// Same across-mode identity for the exported traces: the Chrome JSON and
+/// folded streams are byte-identical; the metrics summary is identical
+/// once the mode-dependent `host.*` cache counters are dropped.
+#[test]
+fn n4_traces_identical_with_and_without_block_engine() {
+    let strip_host = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.trim_start().starts_with("host."))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    let run = |blocks: bool| {
+        simmem::set_blocks(Some(blocks));
+        simtrace::enable("/dev/null");
+        let mut m = Machine::new(4, build_mem(4), CostModel::default());
+        m.set_quantum(10_000);
+        m.set_host_threads(2);
+        for (i, cpu) in m.cpus.iter_mut().enumerate() {
+            init_cpu(cpu, i);
+        }
+        m.run_to_halt(10_000);
+        assert!(m.all_halted());
+        let (json, folded, summary) = simtrace::render();
+        simtrace::disable();
+        simmem::set_blocks(None);
+        (fingerprint(&m.cpus, &m.mem, None), json, folded, strip_host(&summary))
+    };
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let interp = run(false);
+    let blocks = run(true);
+    assert_eq!(interp.0, blocks.0, "architectural fingerprint diverged");
+    assert_eq!(interp.1, blocks.1, "chrome trace diverged");
+    assert_eq!(interp.2, blocks.2, "folded trace diverged");
+    assert_eq!(interp.3, blocks.3, "summary (sans host.*) diverged");
 }
