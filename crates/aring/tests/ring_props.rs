@@ -1,0 +1,163 @@
+//! Property tests for the ring cursor arithmetic and the enqueue/dequeue
+//! protocols, checked against simple oracles — same style as the CODOMs
+//! property suite: deterministic RNG, model-based differential checking.
+//!
+//! The MPSC test drives the *split-step* producer API (pre-check, claim,
+//! seq-gate, publish as separate observable steps) under arbitrary
+//! interleavings, which models the claim races real guest threads exhibit
+//! under deterministic SMP scheduling.
+
+use std::collections::VecDeque;
+
+use aring::{cursor, layout, Backpressure, EnqErr, FlatRing, Ring, RingCfg};
+use proptest::prelude::*;
+
+fn arb_cap() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(2u64), Just(4), Just(8), Just(16), Just(32)]
+}
+
+/// Cursor starting points, biased toward the 2⁶⁴ wrap boundary.
+fn arb_init_cursor() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(0u64), (u64::MAX - 64)..u64::MAX, 0u64..1024]
+}
+
+proptest! {
+    #[test]
+    fn cursor_arithmetic_wraps(
+        head in arb_init_cursor(),
+        delta in 0u64..100,
+        cap in arb_cap(),
+    ) {
+        let tail = head.wrapping_add(delta);
+        prop_assert_eq!(cursor::occupancy(head, tail), delta);
+        prop_assert_eq!(cursor::is_full(head, tail, cap), delta >= cap);
+        prop_assert_eq!(cursor::is_empty(head, tail), delta == 0);
+        prop_assert!(cursor::slot_index(tail, cap) < cap);
+        // Successive cursors map to successive slots mod cap.
+        let a = cursor::slot_index(tail, cap);
+        let b = cursor::slot_index(tail.wrapping_add(1), cap);
+        prop_assert_eq!((a + 1) & (cap - 1), b);
+    }
+
+    /// One-shot enqueue/dequeue (SPSC and serial MPSC) against a VecDeque
+    /// oracle: contents, order, and full/empty verdicts all agree, across
+    /// wrap-around starting points.
+    #[test]
+    fn ring_matches_vecdeque_oracle(
+        cap in arb_cap(),
+        init in arb_init_cursor(),
+        mpsc in any::<bool>(),
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let r = Ring::new(RingCfg::new(cap, mpsc, Backpressure::Fail));
+        let mut m = FlatRing::new(cap);
+        r.init(&mut m, init);
+        let mut oracle: VecDeque<[u64; layout::REC_WORDS]> = VecDeque::new();
+        let mut next = 0u64;
+        for enq in ops {
+            if enq {
+                let rec = [next, next.wrapping_mul(7), 0xA5, next ^ 0xFF];
+                let got = r.try_enqueue(&mut m, &rec);
+                if oracle.len() as u64 == cap {
+                    prop_assert_eq!(got, Err(EnqErr::Full));
+                } else {
+                    prop_assert!(got.is_ok());
+                    oracle.push_back(rec);
+                    next += 1;
+                }
+            } else {
+                let got = r.try_dequeue(&mut m);
+                prop_assert_eq!(got, oracle.pop_front());
+            }
+            prop_assert_eq!(r.occupancy(&m), oracle.len() as u64);
+        }
+    }
+
+    /// MPSC split-step protocol under arbitrary interleavings: several
+    /// producers race pre-check/claim/publish against a draining consumer.
+    /// Records must come out in ticket order, per-producer FIFO, none lost,
+    /// none duplicated, and overclaim is bounded by the producer count.
+    #[test]
+    fn mpsc_claim_races_linearize(
+        cap in arb_cap(),
+        init in arb_init_cursor(),
+        nprod in 1usize..5,
+        quota in 1u64..12,
+        schedule in prop::collection::vec(0u8..5, 0..400),
+    ) {
+        let r = Ring::new(RingCfg::new(cap, true, Backpressure::Fail));
+        let mut m = FlatRing::new(cap);
+        r.init(&mut m, init);
+
+        #[derive(Clone, Copy)]
+        enum PState { Idle, Claimed(u64) }
+        let mut state = vec![PState::Idle; nprod];
+        let mut sent = vec![0u64; nprod];
+        let mut next_deq = vec![0u64; nprod]; // per-producer FIFO oracle
+        let mut drained = 0u64;
+
+        // The proptest schedule drives the interleaving; a deterministic
+        // round-robin tail drives everything to completion afterwards.
+        let tail_steps = (0..=nprod as u8).cycle().take(nprod * quota as usize * 8 + 64);
+        for actor in schedule.into_iter().map(|a| a % (nprod as u8 + 1)).chain(tail_steps) {
+            if (actor as usize) < nprod {
+                let p = actor as usize;
+                match state[p] {
+                    PState::Idle if sent[p] < quota && r.step_precheck(&m).is_ok() => {
+                        let t = r.step_claim(&mut m);
+                        state[p] = PState::Claimed(t);
+                    }
+                    PState::Claimed(t) if r.step_seq_ready(&m, t) => {
+                        r.step_publish(&mut m, t, &[p as u64, sent[p], 0, 0]);
+                        sent[p] += 1;
+                        state[p] = PState::Idle;
+                    }
+                    _ => {}
+                }
+            } else if let Some(rec) = r.try_dequeue(&mut m) {
+                let (p, idx) = (rec[0] as usize, rec[1]);
+                prop_assert!(p < nprod, "garbage record");
+                prop_assert_eq!(idx, next_deq[p], "per-producer FIFO violated");
+                next_deq[p] += 1;
+                drained += 1;
+            }
+            // Overclaim is bounded: at most `nprod` tickets past capacity.
+            let occ = cursor::occupancy(r.head(&m), r.tail(&m));
+            prop_assert!(occ <= cap + nprod as u64, "runaway tickets: {occ}");
+        }
+
+        prop_assert_eq!(drained, quota * nprod as u64, "records lost");
+        prop_assert_eq!(r.head(&m), r.tail(&m));
+        prop_assert_eq!(r.head(&m), init.wrapping_add(drained));
+        // Every slot recycled for its next lap.
+        for lap in 0..cap {
+            let c = r.head(&m).wrapping_add(lap);
+            prop_assert!(r.step_seq_ready(&m, c));
+        }
+    }
+
+    /// A closed ring fails producers at every protocol step but still lets
+    /// the consumer drain already-published records.
+    #[test]
+    fn close_is_a_barrier_not_a_data_loss(
+        cap in arb_cap(),
+        prefill in 0u64..8,
+        init in arb_init_cursor(),
+    ) {
+        let r = Ring::new(RingCfg::new(cap, true, Backpressure::Block));
+        let mut m = FlatRing::new(cap);
+        r.init(&mut m, init);
+        let n = prefill.min(cap);
+        for i in 0..n {
+            r.try_enqueue(&mut m, &[i, 0, 0, 0]).unwrap();
+        }
+        r.close(&mut m);
+        prop_assert_eq!(r.step_precheck(&m), Err(EnqErr::Closed));
+        prop_assert_eq!(r.try_enqueue(&mut m, &[99, 0, 0, 0]), Err(EnqErr::Closed));
+        for i in 0..n {
+            prop_assert_eq!(r.try_dequeue(&mut m).map(|rec| rec[0]), Some(i));
+        }
+        prop_assert_eq!(r.try_dequeue(&mut m), None);
+        prop_assert!(r.is_closed(&m));
+    }
+}

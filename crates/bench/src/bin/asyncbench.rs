@@ -1,0 +1,103 @@
+//! Asynchronous dIPC benchmark: ring-based streaming calls vs synchronous
+//! proxy calls at equal isolation (§3.1's asynchronous dIPC variant).
+//!
+//! Two stacks over the same three dIPC-enabled processes (web, PHP, DB)
+//! with the same per-operation work ([`oltp::async_stack::AsyncParams`]):
+//!
+//! * **sync** — the Figure 8 proxy configuration: each web thread calls
+//!   `php_render` through a generated proxy, which calls `db_query` once
+//!   per query; the caller waits out every crossing.
+//! * **async** — the web threads stream request records into a
+//!   capability-protected MPSC call ring and keep a window of operations
+//!   in flight; PHP streams query records to the DB the same way and
+//!   posts completions to per-thread reply rings. The doorbell *batch*
+//!   size — how many records an enqueue burst covers with one futex wake
+//!   — is swept.
+//!
+//! Latency is sampled in-guest (`clock_ns` bracketing each operation), so
+//! p50/p99 are real per-request measurements in both stacks. Fully
+//! deterministic: the same binary reproduces the same JSON bit for bit.
+//!
+//! Emits `results/BENCH_async.json`.
+
+use oltp::async_stack::{build_async, build_sync, AsyncParams, AsyncRun};
+
+const BATCHES: [u64; 4] = [1, 4, 16, 64];
+
+fn row(tag: &str, r: &AsyncRun) {
+    println!(
+        "{tag:>10}: {:>7} ops  {:>12.0} ops/min  p50 {:>8.2} us  p99 {:>8.2} us",
+        r.ops, r.ops_per_min, r.p50_us, r.p99_us
+    );
+}
+
+fn main() {
+    bench::banner("async - ring-based asynchronous dIPC vs synchronous proxies");
+    let scale = bench::scale();
+    let (warm_ms, measure_ms) = (10, 40 * scale);
+
+    let base = AsyncParams::for_bench();
+    println!(
+        "workload: {} web threads, {} queries/op, window {}, ring cap {}",
+        base.web_threads, base.p.queries_per_op, base.window, base.cap
+    );
+
+    let mut s = build_sync(&base);
+    let sync = s.run_window(warm_ms, measure_ms);
+    row("sync", &sync);
+
+    let mut rows = Vec::new();
+    for b in BATCHES {
+        let mut ap = base.clone();
+        ap.batch = b;
+        let mut s = build_async(&ap);
+        let r = s.run_window(warm_ms, measure_ms);
+        row(&format!("async b={b}"), &r);
+        rows.push((b, r));
+    }
+
+    let best = rows
+        .iter()
+        .map(|(b, r)| (*b, r.ops_per_min / sync.ops_per_min))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("speedups are finite"))
+        .expect("at least one batch size");
+    println!("best: batch {} at {:.3}x sync throughput", best.0, best.1);
+
+    let mut async_json = String::new();
+    for (i, (b, r)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        async_json.push_str(&format!(
+            "    {{\n      \"batch\": {b},\n      \"ops\": {},\n      \
+             \"ops_per_min\": {:.1},\n      \"p50_us\": {:.3},\n      \
+             \"p99_us\": {:.3},\n      \"speedup_vs_sync\": {:.4}\n    }}{sep}\n",
+            r.ops,
+            r.ops_per_min,
+            r.p50_us,
+            r.p99_us,
+            r.ops_per_min / sync.ops_per_min
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"async\",\n  \"scale\": {scale},\n  \"config\": {{\n    \
+         \"web_threads\": {},\n    \"queries_per_op\": {},\n    \"window\": {},\n    \
+         \"ring_cap\": {},\n    \"cores\": {}\n  }},\n  \"sync\": {{\n    \
+         \"ops\": {},\n    \"ops_per_min\": {:.1},\n    \"p50_us\": {:.3},\n    \
+         \"p99_us\": {:.3}\n  }},\n  \"async\": [\n{async_json}  ],\n  \
+         \"best_batch\": {},\n  \"best_speedup\": {:.4}\n}}\n",
+        base.web_threads,
+        base.p.queries_per_op,
+        base.window,
+        base.cap,
+        base.p.cores,
+        sync.ops,
+        sync.ops_per_min,
+        sync.p50_us,
+        sync.p99_us,
+        best.0,
+        best.1
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_async.json", &json).expect("write results/BENCH_async.json");
+    println!("wrote results/BENCH_async.json");
+    bench::finish();
+}

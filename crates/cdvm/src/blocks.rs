@@ -141,6 +141,7 @@ fn instr_max_cost(i: &Instr, c: &CostModel) -> Option<u64> {
         Mul { .. } => c.mul,
         Divu { .. } | Remu { .. } => c.div,
         Ld { .. } | St { .. } => c.base + c.mem + 2 * c.tlb_miss,
+        Amoadd { .. } => c.amo + c.mem + 2 * c.tlb_miss,
         Ldb { .. } | Stb { .. } => c.base + c.mem + c.tlb_miss,
         MemCpy { .. } | MemSet { .. } => return None,
         Work { rs1, imm } => {
@@ -190,7 +191,7 @@ fn is_terminator(i: &Instr) -> bool {
 /// bump the code epoch mid-block).
 fn may_write(i: &Instr) -> bool {
     use Instr::*;
-    matches!(i, St { .. } | Stb { .. } | CapPush { .. } | CapSt { .. })
+    matches!(i, St { .. } | Stb { .. } | Amoadd { .. } | CapPush { .. } | CapSt { .. })
 }
 
 /// Decodes a block starting at `entry` (8-byte aligned) from `page` (the

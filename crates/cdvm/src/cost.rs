@@ -60,6 +60,9 @@ pub struct CostModel {
     pub div: u64,
     /// L1-hit load/store.
     pub mem: u64,
+    /// Locked read-modify-write (`Amoadd`): uncontended `lock xadd` on an
+    /// L1-resident line, on top of the data-access charge.
+    pub amo: u64,
     /// TLB miss (page walk).
     pub tlb_miss: u64,
     /// `ecall` entry microcode.
@@ -100,6 +103,7 @@ impl Default for CostModel {
             mul: 3,
             div: 20,
             mem: 1,
+            amo: 18,
             tlb_miss: 25,
             ecall: 30,
             sysret: 24,

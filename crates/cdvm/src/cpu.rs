@@ -780,6 +780,21 @@ impl Cpu {
                     Err(ev) => return ev,
                 }
             }
+            Amoadd { rd, rs1, rs2 } => {
+                // One indivisible read-modify-write: the write check also
+                // authorises the read (Write ≥ Read in the APL lattice).
+                self.cycles += cost.amo - cost.base;
+                let addr = self.reg(rs1);
+                match self.data_access(mem, rev, cost, addr, 8, true) {
+                    Ok(()) => {
+                        let old = mem.kread_u64(self.active_pt, addr).expect("checked");
+                        mem.kwrite_u64(self.active_pt, addr, old.wrapping_add(self.reg(rs2)))
+                            .expect("checked");
+                        self.set_reg(rd, old);
+                    }
+                    Err(ev) => return ev,
+                }
+            }
             St { rs1, rs2, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
                 match self.data_access(mem, rev, cost, addr, 8, true) {

@@ -27,6 +27,7 @@ pub fn disasm_one(i: &Instr) -> String {
         Srli { rd, rs1, imm } => format!("srli x{rd}, x{rs1}, {imm}"),
         Ld { rd, rs1, imm } => format!("ld x{rd}, {imm}(x{rs1})"),
         St { rs1, rs2, imm } => format!("st x{rs2}, {imm}(x{rs1})"),
+        Amoadd { rd, rs1, rs2 } => format!("amoadd x{rd}, (x{rs1}), x{rs2}"),
         Ldb { rd, rs1, imm } => format!("ldb x{rd}, {imm}(x{rs1})"),
         Stb { rs1, rs2, imm } => format!("stb x{rs2}, {imm}(x{rs1})"),
         MemCpy { rd, rs1, rs2 } => format!("memcpy dst=x{rd}, src=x{rs1}, len=x{rs2}"),

@@ -165,6 +165,10 @@ pub struct System {
     /// Outstanding injected page-permission flips: `(va, original flags,
     /// heal time)`. Healed by [`System::step`]'s chaos tick.
     flips: Vec<(u64, PageFlags, u64)>,
+    /// Minted async channels (see `crate::channel`).
+    pub(crate) channels: Vec<crate::channel::ChanRec>,
+    /// Outstanding injected ring stalls: `(channel id, heal time)`.
+    pub(crate) stalls: Vec<(usize, u64)>,
 }
 
 impl System {
@@ -187,6 +191,8 @@ impl System {
             splits: 0,
             reaped: HashSet::new(),
             flips: Vec::new(),
+            channels: Vec::new(),
+            stalls: Vec::new(),
         }
     }
 
@@ -806,6 +812,10 @@ impl System {
             }
         }
         self.k.kill_process(pid);
+        // Poison async channels while the corpse's ring pages are still
+        // mapped: pending enqueues fail with DIPC_ERR_FAULT and parked
+        // futex waiters in *other* processes are woken to observe it.
+        self.reap_channels(pid);
         self.reclaim(pid);
     }
 
@@ -1076,10 +1086,55 @@ impl System {
                 }
             }
         }
+        if !self.stalls.is_empty() {
+            let mut healed = Vec::new();
+            self.stalls.retain(|&(id, heal_at)| {
+                if now >= heal_at {
+                    healed.push(id);
+                    false
+                } else {
+                    true
+                }
+            });
+            for id in healed {
+                // The channel may have been closed and its pages reclaimed
+                // in the meantime; only heal what is still mapped.
+                let rec = &self.channels[id];
+                let (pt, base) = (rec.pt, rec.req_base);
+                if self.k.mem.table(pt).lookup(base).is_some() {
+                    use aring::{GuestRing, Ring};
+                    Ring::new(rec.req_cfg)
+                        .set_stall(&mut GuestRing { mem: &mut self.k.mem, pt, base }, 0);
+                }
+            }
+        }
         for t in simfault::take_due(now) {
             match t {
                 simfault::Trigger::KillProcess { pid } => self.kill_process(Pid(pid)),
                 simfault::Trigger::KillThread { tid } => self.kill_thread(Tid(tid)),
+            }
+        }
+        if simfault::should(simfault::Site::RingStall, now) {
+            // Victims are open channels; the registry is insertion-ordered,
+            // so the deterministic draw picks the same one every run.
+            let open: Vec<usize> = self
+                .channels
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.closed)
+                .map(|(i, _)| i)
+                .collect();
+            if !open.is_empty() {
+                let pick = simfault::draw(simfault::Site::RingStall, open.len() as u64);
+                let id = open[pick as usize];
+                let rec = &self.channels[id];
+                let (pt, base, cfg) = (rec.pt, rec.req_base, rec.req_cfg);
+                if self.k.mem.table(pt).lookup(base).is_some() {
+                    use aring::{GuestRing, Ring};
+                    Ring::new(cfg).set_stall(&mut GuestRing { mem: &mut self.k.mem, pt, base }, 1);
+                    let heal = now + simfault::param(simfault::Site::RingStall).max(1);
+                    self.stalls.push((id, heal));
+                }
             }
         }
         if simfault::should(simfault::Site::PageFlip, now) {

@@ -22,6 +22,7 @@
 //! storage variants of Figure 8). Only the inter-tier call mechanism
 //! differs — which is precisely what Figures 1 and 8 measure.
 
+pub mod async_stack;
 pub mod dipc_stack;
 pub mod ideal_stack;
 pub mod linux_stack;

@@ -109,11 +109,21 @@ pub fn emit_php_render(a: &mut Asm, p: &OltpParams, call_db: &dyn Fn(&mut Asm)) 
 }
 
 /// Attempts per request before the web tier sheds it (first try + retries).
-pub const RETRY_MAX: u64 = 3;
+pub const RETRY_MAX: u64 = 5;
 
-/// Backoff unit in cycles; attempt `n` waits `n * RETRY_BACKOFF_CYCLES`
-/// before retrying (linear backoff keeps the simulation deterministic).
+/// Backoff unit in cycles; attempt `n` waits `RETRY_BACKOFF_CYCLES << (n-1)`
+/// before retrying, capped at [`RETRY_BACKOFF_MAX`] (deterministic
+/// exponential backoff — no host randomness).
 pub const RETRY_BACKOFF_CYCLES: u64 = 2_000;
+
+/// Ceiling on a single backoff stall.
+pub const RETRY_BACKOFF_MAX: u64 = 32_000;
+
+/// Circuit-breaker hold-off after a shed, in cycles (~2 ms simulated): a
+/// thread that just shed a request stops hammering the failing backend
+/// before accepting new work, so a dead callee degrades throughput instead
+/// of turning the web tier into a shed firehose.
+pub const SHED_HOLDOFF_CYCLES: i32 = 6_200_000;
 
 /// Wraps a dIPC call in bounded retry-with-backoff and load shedding.
 ///
@@ -121,11 +131,13 @@ pub const RETRY_BACKOFF_CYCLES: u64 = 2_000;
 /// `a0`); `err` is the sentinel return value that marks an unwound call
 /// (normally [`dipc::DIPC_ERR_FAULT`]). On failure the original arguments
 /// are restored from `s3`/`s4` and the call is retried up to [`RETRY_MAX`]
-/// attempts with linear backoff; after that the request is *shed*: the
-/// thread's slot in the `$data_shed` region (parallel to `$data_counters`,
-/// indexed off the counter pointer in `s1`) is bumped and control jumps to
-/// `shed_to` — in [`emit_web_main`] that is `web_loop`, so a shed request
-/// skips the response work and the completed-operations counter.
+/// attempts with capped exponential backoff; after that the request is
+/// *shed*: the thread's slot in the `$data_shed` region (parallel to
+/// `$data_counters`, indexed off the counter pointer in `s1`) is bumped,
+/// the thread holds off [`SHED_HOLDOFF_CYCLES`] (a circuit breaker against
+/// a dead backend), and control jumps to `shed_to` — in [`emit_web_main`]
+/// that is `web_loop`, so a shed request skips the response work and the
+/// completed-operations counter.
 ///
 /// Clobbers `s3` (saved `a0`), `s4` (saved `a1`) and `s5` (attempt count);
 /// callers routing this through a dIPC proxy must list those registers as
@@ -141,9 +153,15 @@ pub fn emit_retry_call(a: &mut Asm, err: u64, shed_to: &str, call: &dyn Fn(&mut 
     a.push(Instr::Addi { rd: S5, rs1: S5, imm: 1 });
     a.li(T0, RETRY_MAX);
     a.bgeu(S5, T0, "retry_shed");
-    // Linear backoff: attempt n stalls n * RETRY_BACKOFF_CYCLES cycles.
+    // Exponential backoff: attempt n stalls RETRY_BACKOFF_CYCLES << (n-1)
+    // cycles, capped at RETRY_BACKOFF_MAX.
     a.li(T0, RETRY_BACKOFF_CYCLES);
-    a.push(Instr::Mul { rd: T1, rs1: S5, rs2: T0 });
+    a.push(Instr::Addi { rd: T1, rs1: S5, imm: -1 });
+    a.push(Instr::Sll { rd: T1, rs1: T0, rs2: T1 });
+    a.li(T0, RETRY_BACKOFF_MAX);
+    a.bltu(T1, T0, "retry_wait");
+    a.push(Instr::Add { rd: T1, rs1: T0, rs2: ZERO });
+    a.label("retry_wait");
     a.push(Instr::Work { rs1: T1, imm: 0 });
     a.push(Instr::Add { rd: A0, rs1: S3, rs2: ZERO }); // restore args
     a.push(Instr::Add { rd: A1, rs1: S4, rs2: ZERO });
@@ -157,6 +175,8 @@ pub fn emit_retry_call(a: &mut Asm, err: u64, shed_to: &str, call: &dyn Fn(&mut 
     a.push(Instr::Ld { rd: T1, rs1: T0, imm: 0 });
     a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
     a.push(Instr::St { rs1: T0, rs2: T1, imm: 0 });
+    // Circuit-breaker hold-off before taking the next request.
+    a.push(Instr::Work { rs1: 0, imm: SHED_HOLDOFF_CYCLES });
     a.j(shed_to);
     a.label("retry_done");
 }

@@ -58,10 +58,15 @@ pub enum Site {
     /// the call unwinds with `DIPC_ERR_FAULT` even though the callee is
     /// alive (caller may retry).
     SysErr,
+    /// Async-ring stall: an open ring's STALL word is raised so enqueue and
+    /// dequeue paths spin on `yield` until it heals (drawn per driver step,
+    /// in `dipc::System`). Param = cycles until the stall heals
+    /// (default 50 000).
+    RingStall,
 }
 
 impl Site {
-    const COUNT: usize = 6;
+    const COUNT: usize = 7;
 
     fn idx(self) -> usize {
         match self {
@@ -71,6 +76,7 @@ impl Site {
             Site::IpiDelay => 3,
             Site::SpuriousWake => 4,
             Site::SysErr => 5,
+            Site::RingStall => 6,
         }
     }
 
@@ -82,6 +88,7 @@ impl Site {
             Site::IpiDelay => "ipi_delay",
             Site::SpuriousWake => "wake",
             Site::SysErr => "syserr",
+            Site::RingStall => "ring_stall",
         }
     }
 
@@ -93,6 +100,7 @@ impl Site {
             "ipi_delay" => Site::IpiDelay,
             "wake" => Site::SpuriousWake,
             "syserr" => Site::SysErr,
+            "ring_stall" => Site::RingStall,
             _ => return None,
         })
     }
@@ -102,6 +110,7 @@ impl Site {
             Site::PageFlip => 200_000,
             Site::IpiLoss => 100_000,
             Site::IpiDelay => 10_000,
+            Site::RingStall => 50_000,
             _ => 0,
         }
     }
@@ -153,6 +162,7 @@ impl FaultPlan {
                 Site::IpiDelay.default_param(),
                 Site::SpuriousWake.default_param(),
                 Site::SysErr.default_param(),
+                Site::RingStall.default_param(),
             ],
             triggers: Vec::new(),
         }
@@ -260,6 +270,7 @@ const SALTS: [u64; Site::COUNT] = [
     0x69706964656c0004, // "ipidel"
     0x77616b6575700005, // "wakeup"
     0x7379736572720006, // "syserr"
+    0x72696e6773740007, // "ringst"
 ];
 
 /// Injection-log capacity; beyond this only the count grows (bounds host

@@ -1615,6 +1615,26 @@ impl Kernel {
         SysResult::Ret(woken)
     }
 
+    /// Host-side futex wake (no syscall, no cycle charge): wakes up to `n`
+    /// threads parked on the word at `addr` under `pt`. The dIPC layer uses
+    /// it to release waiters parked on an async ring whose endpoint process
+    /// died — the wake must happen while the ring pages are still mapped,
+    /// or the physical futex key can no longer be derived.
+    pub fn host_futex_wake(&mut self, pt: PageTableId, addr: u64, n: usize) -> u64 {
+        let Some(key) = self.futex_key(pt, addr) else { return 0 };
+        let mut woken = 0u64;
+        while woken < n as u64 {
+            let next = match self.futexes.get_mut(&key) {
+                Some(w) if !w.is_empty() => w.remove(0),
+                _ => break,
+            };
+            if self.wake_if_blocked(next, BlockReason::Futex(key), 0) {
+                woken += 1;
+            }
+        }
+        woken
+    }
+
     /// Wakes `tid` only if it is blocked for exactly `reason` (stale waiter
     /// entries are skipped). Returns true if woken.
     fn wake_if_blocked(&mut self, tid: Tid, reason: BlockReason, from: usize) -> bool {

@@ -380,3 +380,40 @@ fn double_kill_is_idempotent() {
     mw.sys.kill_process(simkernel::Pid(mw.srv_pid));
     assert_eq!(mw.sys.k.mem.phys().live_frames(), live, "second kill must be a no-op");
 }
+
+#[test]
+fn double_kill_with_channels_reclaims_ring_slots_once() {
+    // Same idempotence invariant, but with async channels in flight: the
+    // first kill must poison every channel the victim touches (pending
+    // enqueues then fail with DIPC_ERR_FAULT instead of leaking slots);
+    // the second kill must find them already closed and change nothing.
+    let mut s = oltp::async_stack::build_async(&{
+        let mut ap = oltp::async_stack::AsyncParams::for_bench();
+        ap.p.queries_per_op = 8;
+        ap.batch = 4;
+        ap
+    });
+    s.stack.sys.run_until(|sys| sys.k.now_max() >= 2_000_000);
+    let php = *s
+        .stack
+        .sys
+        .k
+        .procs
+        .iter()
+        .find(|(_, p)| p.name == "php")
+        .map(|(pid, _)| pid)
+        .expect("php exists");
+
+    s.stack.sys.kill_process(php);
+    assert!(s.stack.sys.channel_recs().iter().all(|r| r.closed));
+    let live = s.stack.sys.k.mem.phys().live_frames();
+    s.stack.sys.kill_process(php);
+    assert_eq!(
+        s.stack.sys.k.mem.phys().live_frames(),
+        live,
+        "second kill must not re-reclaim channel rings"
+    );
+    // The poison is permanent: no channel reopens, and the survivors still
+    // drain to a halt (covered in depth by tests/async_ring.rs).
+    assert!(s.stack.sys.channel_recs().iter().all(|r| r.closed));
+}
