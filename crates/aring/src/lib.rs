@@ -62,6 +62,7 @@
 //! stalled guests yield and retry. Ring teardown (process death) writes
 //! CLOSED = 1; producers and parked waiters observe it and fail with
 //! [`ERR_FAULT`] instead of leaking in-flight slots.
+#![warn(missing_docs)]
 
 use cdvm::isa::reg::*;
 use cdvm::isa::Reg;

@@ -29,6 +29,14 @@
 //! times by proxy, async crosses by ring record. Latency is sampled
 //! in-guest with `clock_ns` into per-thread sample buffers, giving real
 //! p50/p99 (not Little's-law averages).
+//!
+//! The latency plumbing is deliberately reusable: [`LatView`] maps the
+//! per-thread wrap buffers for host-side draining, [`percentile`] reads
+//! them, and the `lat_store` emitter writes a sample from guest code.
+//! [`super::service_graph`] builds its production edge tier on the same
+//! three pieces, so the SLO percentiles reported by `prodbench` and the
+//! p50/p99 columns reported by `asyncbench` are measured by identical
+//! machinery.
 
 use aring::{emit, layout, Backpressure, RingCfg};
 use cdvm::isa::reg::*;
@@ -199,7 +207,7 @@ fn sys(a: &mut Asm, n: u64) {
 /// `lat_store(a, buf)`: store the latency in `a0` into the sample buffer
 /// whose base pointer is in `buf` (count word + wrapping slots). Clobbers
 /// `t0`, `t1`.
-fn lat_store(a: &mut Asm, buf: u8) {
+pub(crate) fn lat_store(a: &mut Asm, buf: u8) {
     a.push(Instr::Ld { rd: T0, rs1: buf, imm: 0 });
     a.push(Instr::Andi { rd: T1, rs1: T0, imm: LAT_MASK });
     a.push(Instr::Slli { rd: T1, rs1: T1, imm: 3 });

@@ -21,13 +21,21 @@
 //! reads the storage backend (a serialized-disk or tmpfs file, the two
 //! storage variants of Figure 8). Only the inter-tier call mechanism
 //! differs — which is precisely what Figures 1 and 8 measure.
+//!
+//! Beyond the paper's fixed three-tier shape, [`service_graph`] builds a
+//! production-shaped graph (edge → cache → replicated app tier → DB
+//! primary + replicas, per-tenant CODOMs domains, admission control)
+//! driven by the open-loop generator in [`workload`] — the `prodbench`
+//! scenario.
 
 pub mod async_stack;
 pub mod dipc_stack;
 pub mod ideal_stack;
 pub mod linux_stack;
 pub mod params;
+pub mod service_graph;
 pub mod tiers;
+pub mod workload;
 
 pub use params::{OltpParams, OltpResult, StorageKind};
 

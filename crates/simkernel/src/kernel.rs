@@ -1621,6 +1621,17 @@ impl Kernel {
     /// died — the wake must happen while the ring pages are still mapped,
     /// or the physical futex key can no longer be derived.
     pub fn host_futex_wake(&mut self, pt: PageTableId, addr: u64, n: usize) -> u64 {
+        self.host_futex_wake_at(pt, addr, n, 0)
+    }
+
+    /// [`host_futex_wake`](Self::host_futex_wake) with a virtual-time floor:
+    /// woken threads resume no earlier than cycle `at`. Host-side producers
+    /// injecting work "at" a chosen point on the simulated timeline need
+    /// this — a plain wake resumes the waiter from CPU 0's local clock,
+    /// which can lag the injection time by many slices (idle CPUs only
+    /// advance when dispatched), making the consumer observe data from its
+    /// local past and producing negative end-to-end latencies.
+    pub fn host_futex_wake_at(&mut self, pt: PageTableId, addr: u64, n: usize, at: u64) -> u64 {
         let Some(key) = self.futex_key(pt, addr) else { return 0 };
         let mut woken = 0u64;
         while woken < n as u64 {
@@ -1629,6 +1640,8 @@ impl Kernel {
                 _ => break,
             };
             if self.wake_if_blocked(next, BlockReason::Futex(key), 0) {
+                let t = self.threads.get_mut(&next).expect("woken thread exists");
+                t.ready_at = t.ready_at.max(at);
                 woken += 1;
             }
         }

@@ -1,0 +1,161 @@
+//! Link-check for the repository's markdown documentation: every relative
+//! link must point at an existing file, and every `#anchor` must match a
+//! real heading (GitHub slugification) in the target document. This is
+//! what keeps the cross-document links added by the docs overhaul — the
+//! README env table into ARCHITECTURE.md sections, ARCHITECTURE.md into
+//! EXPERIMENTS.md — from rotting as headings move.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root")
+}
+
+/// GitHub's heading-to-anchor slugification: lowercase, drop everything
+/// but alphanumerics/spaces/hyphens/underscores, spaces become hyphens.
+/// Repeated slugs get `-1`, `-2`, … suffixes.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors of one markdown file, fence-aware.
+fn anchors(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut seen: HashMap<String, u64> = HashMap::new();
+    let mut fenced = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if fenced || !line.starts_with('#') {
+            continue;
+        }
+        let title = line.trim_start_matches('#');
+        if !title.starts_with(' ') {
+            continue; // not a heading (e.g. "#![warn…]" in prose)
+        }
+        let slug = slugify(title);
+        let n = seen.entry(slug.clone()).or_insert(0);
+        out.push(if *n == 0 { slug.clone() } else { format!("{slug}-{n}") });
+        *n += 1;
+    }
+    out
+}
+
+/// Extracts `](target)` link targets, fence-aware and inline-code-naive
+/// (markdown links never start inside backticks in these docs).
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut fenced = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if fenced {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(pos) = rest.find("](") {
+            rest = &rest[pos + 2..];
+            if let Some(end) = rest.find(')') {
+                out.push(rest[..end].to_string());
+                rest = &rest[end + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn markdown_links_resolve() {
+    let root = repo_root();
+    let docs: Vec<PathBuf> = fs::read_dir(&root)
+        .expect("readable repo root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    assert!(docs.len() >= 5, "expected the top-level docs, found {docs:?}");
+
+    let mut anchor_cache: HashMap<PathBuf, Vec<String>> = HashMap::new();
+    let mut errors = Vec::new();
+    for doc in &docs {
+        let text = fs::read_to_string(doc).expect("readable doc");
+        anchor_cache.insert(doc.clone(), anchors(&text));
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_string())),
+                None => (target.as_str(), None),
+            };
+            let file = if path_part.is_empty() {
+                doc.clone()
+            } else {
+                doc.parent().expect("doc has a dir").join(path_part)
+            };
+            if !file.exists() {
+                errors.push(format!("{}: broken link -> {target}", doc.display()));
+                continue;
+            }
+            if let Some(a) = anchor {
+                if file.extension().is_some_and(|x| x == "md") {
+                    let file = file.canonicalize().expect("canonical target");
+                    let anch = anchor_cache.entry(file.clone()).or_insert_with(|| {
+                        anchors(&fs::read_to_string(&file).expect("readable target"))
+                    });
+                    if !anch.contains(&a) {
+                        errors.push(format!(
+                            "{}: dead anchor -> {target} (no heading slugs to \"{a}\" in {})",
+                            doc.display(),
+                            file.display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(errors.is_empty(), "documentation links rotted:\n{}", errors.join("\n"));
+}
+
+#[test]
+fn readme_env_table_has_defaults_for_every_row() {
+    // The canonical env-var table promises a default for every knob; keep
+    // the column from silently losing cells.
+    let text = fs::read_to_string(repo_root().join("README.md")).expect("README");
+    let table: Vec<&str> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("| variable | default |"))
+        .take_while(|l| l.starts_with('|'))
+        .collect();
+    assert!(table.len() > 10, "canonical env table missing from README");
+    for row in table.iter().skip(2) {
+        let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+        assert!(
+            cells.len() >= 4 && !cells[2].is_empty(),
+            "env-table row lacks a default value: {row}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the production service graph (`oltp::service_graph`)
+//! driven by the open-loop generator (`oltp::workload`):
+//!
+//! * end-to-end progress through edge → cache → app replicas → DB
+//!   primary/replicas with real latency samples,
+//! * bit-identical replay of a full open-loop run (the injection path is
+//!   virtual-time-driven, so host scheduling cannot leak in),
+//! * graceful degradation when an app replica is killed mid-window
+//!   (replica fail-over keeps goodput up; the victim stays dead),
+//! * determinism of admission: offered/admitted/shed splits replay exactly.
+
+use oltp::service_graph::{build, ProdParams, ProdRun, RunOpts};
+use oltp::workload::{OpenLoop, TokenBucket, WorkloadCfg};
+use simfault::{FaultPlan, Site, Trigger};
+
+fn gen(seed: u64, rate: f64, window_ns: u64, pp: &ProdParams) -> OpenLoop {
+    let mut cfg = WorkloadCfg::production(seed, rate, window_ns);
+    cfg.sessions = 3_000;
+    cfg.tenants = pp.tenants;
+    cfg.lanes = pp.edge_threads;
+    OpenLoop::new(cfg)
+}
+
+fn run(pp: &ProdParams, seed: u64, rate: f64, window_ns: u64) -> (ProdRun, u64) {
+    let mut s = build(pp);
+    let mut g = gen(seed, rate, window_ns, pp);
+    let mut tb = TokenBucket::new(500_000, 128);
+    let r = s.run_open_loop(&mut g, &mut tb, &RunOpts::default());
+    (r, s.sys.k.now_max())
+}
+
+#[test]
+fn graph_serves_open_loop_traffic_end_to_end() {
+    let pp = ProdParams::small();
+    let (r, _) = run(&pp, 42, 120_000.0, 10_000_000);
+    assert!(r.offered > 500, "window must offer real load: {r:?}");
+    assert!(r.completed > 100, "graph must complete requests: {r:?}");
+    assert!(r.samples > 0, "in-guest latency sampling must fire");
+    assert!(r.p50_us > 0.0 && r.p999_us >= r.p99_us && r.p99_us >= r.p50_us, "{r:?}");
+    assert!(r.tenant_touches >= r.completed, "every request touches its tenant domain");
+    assert!(r.guest.cache_hits > 0, "Zipf-skewed keys must produce cache hits: {r:?}");
+    assert_eq!(r.guest.failed, 0, "no replica failures without fault injection");
+}
+
+#[test]
+fn open_loop_run_replays_bit_identically() {
+    let pp = ProdParams::small();
+    let a = run(&pp, 7, 150_000.0, 8_000_000);
+    let b = run(&pp, 7, 150_000.0, 8_000_000);
+    // Admission split, completions, latency percentiles and the final
+    // simulated clock all replay exactly.
+    assert_eq!(a.0.offered, b.0.offered);
+    assert_eq!(a.0.admitted, b.0.admitted);
+    assert_eq!(a.0.shed_bucket, b.0.shed_bucket);
+    assert_eq!(a.0.shed_ring, b.0.shed_ring);
+    assert_eq!(a.0.completed, b.0.completed);
+    assert_eq!(a.0.guest, b.0.guest);
+    assert_eq!(a.0.samples, b.0.samples);
+    assert_eq!((a.0.p50_us, a.0.p99_us, a.0.p999_us), (b.0.p50_us, b.0.p99_us, b.0.p999_us));
+    assert_eq!(a.1, b.1, "final simulated cycle must replay");
+}
+
+#[test]
+fn replica_kill_degrades_gracefully() {
+    let pp = ProdParams::small();
+    // Baseline without faults.
+    let (base, _) = run(&pp, 9, 120_000.0, 10_000_000);
+
+    // Same run with app1 killed a third of the way in.
+    let mut s = build(&pp);
+    let victim = s.pid("app1");
+    simfault::arm(
+        FaultPlan::new(0xBEEF)
+            .rate(Site::SysErr, 0.01)
+            .at(12_000_000, Trigger::KillProcess { pid: victim.0 }),
+    );
+    let mut g = gen(9, 120_000.0, 10_000_000, &pp);
+    let mut tb = TokenBucket::new(500_000, 128);
+    let r = s.run_open_loop(&mut g, &mut tb, &RunOpts::default());
+    simfault::disarm();
+
+    assert!(!s.sys.k.procs[&victim].alive, "kill trigger must fire");
+    let surviving = s.pid("app0");
+    assert!(s.sys.k.procs[&surviving].alive, "other replicas keep running");
+    assert!(
+        r.completed > base.completed / 3,
+        "fail-over must preserve most goodput: {} vs baseline {}",
+        r.completed,
+        base.completed
+    );
+    // Calls that landed in the dying replica were unwound with
+    // DIPC_ERR_FAULT and retried on the next replica; only requests that
+    // exhausted every replica count as failed.
+    assert!(r.guest.failed < r.completed, "failures must stay the exception: {r:?}");
+}
+
+#[test]
+fn work_stealing_is_actually_enabled() {
+    // The production parameter set turns the default-off kernel work
+    // stealing on — guard against regressions that would silently revert
+    // to the pre-PR-4 default.
+    assert!(ProdParams::production().steal);
+    assert!(ProdParams::default().steal);
+}
