@@ -321,40 +321,50 @@ impl World {
     pub fn link(&mut self) {
         let names: Vec<String> = self.apps.keys().cloned().collect();
         for name in names {
-            let (pid, dom, got, imports) = {
-                let app = &self.apps[&name];
-                (app.pid, app.dom, app.got, app.imports.clone())
-            };
-            for (i, imp) in imports.iter().enumerate() {
-                let exporter = self
-                    .apps
-                    .get(&imp.process)
-                    .unwrap_or_else(|| panic!("import from unknown process {}", imp.process));
-                let export_pid = exporter.pid;
-                let eh = *exporter
-                    .export_handles
-                    .get(&imp.entry)
-                    .unwrap_or_else(|| panic!("unknown entry {}:{}", imp.process, imp.entry));
-                // Handle delegation (SCM_RIGHTS over the named socket).
-                let eh = self
-                    .sys
-                    .pass_handle(export_pid, pid, eh)
-                    .expect("entry handle passes between live processes");
-                let req = EntryDesc { address: 0, signature: imp.sig, policy: imp.policy };
-                let (proxy_dom, addrs) = self
-                    .sys
-                    .entry_request(pid, eh, vec![req])
-                    .expect("signatures were checked against the export");
-                self.sys
-                    .grant_create(pid, dom, proxy_dom)
-                    .expect("importer owns its default domain");
-                self.sys
-                    .k
-                    .mem
-                    .kwrite_u64(simmem::Memory::GLOBAL_PT, got + i as u64 * 8, addrs[0])
-                    .expect("GOT is mapped");
+            let n = self.apps[&name].imports.len();
+            for i in 0..n {
+                self.link_one(&name, i);
             }
         }
+    }
+
+    /// Resolves a single import of app `name` (GOT slot `idx`): passes the
+    /// exporter's entry handle, requests a fresh proxy, grants Call on the
+    /// proxy domain, and patches that one GOT slot. This is also the
+    /// *relink* path: after an exporter is killed and reloaded under the
+    /// same name, relinking the slot points the importer at the fresh
+    /// instance while any other (stale) proxy keeps failing with
+    /// `DIPC_ERR_FAULT`.
+    pub fn link_one(&mut self, name: &str, idx: usize) {
+        let (pid, dom, got, imp) = {
+            let app = &self.apps[name];
+            (app.pid, app.dom, app.got, app.imports[idx].clone())
+        };
+        let exporter = self
+            .apps
+            .get(&imp.process)
+            .unwrap_or_else(|| panic!("import from unknown process {}", imp.process));
+        let export_pid = exporter.pid;
+        let eh = *exporter
+            .export_handles
+            .get(&imp.entry)
+            .unwrap_or_else(|| panic!("unknown entry {}:{}", imp.process, imp.entry));
+        // Handle delegation (SCM_RIGHTS over the named socket).
+        let eh = self
+            .sys
+            .pass_handle(export_pid, pid, eh)
+            .expect("entry handle passes between live processes");
+        let req = EntryDesc { address: 0, signature: imp.sig, policy: imp.policy };
+        let (proxy_dom, addrs) = self
+            .sys
+            .entry_request(pid, eh, vec![req])
+            .expect("signatures were checked against the export");
+        self.sys.grant_create(pid, dom, proxy_dom).expect("importer owns its default domain");
+        self.sys
+            .k
+            .mem
+            .kwrite_u64(simmem::Memory::GLOBAL_PT, got + idx as u64 * 8, addrs[0])
+            .expect("GOT is mapped");
     }
 
     /// Spawns a thread in app `name` at `label`.

@@ -80,6 +80,10 @@ pub mod dsys {
     pub const ENTRY_REQUEST: u64 = 108;
     /// dom_remap(dst_fd, src_fd, addr, size).
     pub const DOM_REMAP: u64 = 109;
+    /// plugin_deny(plugin_pid, denied_nr) — a syscall filter-proxy's
+    /// verdict on a disallowed request: kill-and-reclaim the plugin. Only
+    /// the registered filter process may issue it.
+    pub const PLUGIN_DENY: u64 = 110;
 }
 
 /// In-memory entry descriptor for the VM-level `entry_register` /
@@ -169,6 +173,14 @@ pub struct System {
     pub(crate) channels: Vec<crate::channel::ChanRec>,
     /// Outstanding injected ring stalls: `(channel id, heal time)`.
     pub(crate) stalls: Vec<(usize, u64)>,
+    /// Sandboxed plugin registry: pid → violation count. Membership makes
+    /// every ambient syscall, dIPC management request, and user fault of
+    /// that process a kill-and-reclaim violation (untrusted plugin
+    /// domains; see [`System::sandbox_process`]).
+    plugins: HashMap<u64, u64>,
+    /// The registered syscall filter-proxy process (sole issuer of
+    /// [`dsys::PLUGIN_DENY`]).
+    filter_pid: Option<u64>,
 }
 
 impl System {
@@ -193,7 +205,58 @@ impl System {
             flips: Vec::new(),
             channels: Vec::new(),
             stalls: Vec::new(),
+            plugins: HashMap::new(),
+            filter_pid: None,
         }
+    }
+
+    /// Marks `pid` as a sandboxed, untrusted plugin: its ambient kernel
+    /// syscalls are restricted to `kernel_mask` (0 = none — everything
+    /// must flow through the filter proxy), and any violation — a denied
+    /// direct syscall, a dIPC management request, or a protection fault —
+    /// kills and reclaims it while unwinding visiting callers with
+    /// [`DIPC_ERR_FAULT`].
+    pub fn sandbox_process(&mut self, pid: Pid, kernel_mask: u64) {
+        self.k.restrict_syscalls(pid, kernel_mask);
+        self.plugins.entry(pid.0).or_insert(0);
+    }
+
+    /// Registers `pid` as the syscall filter-proxy process: the only
+    /// process whose [`dsys::PLUGIN_DENY`] verdicts are honoured.
+    pub fn register_filter(&mut self, pid: Pid) {
+        self.filter_pid = Some(pid.0);
+    }
+
+    /// Is `pid` a sandboxed plugin (live or reclaimed)?
+    pub fn is_sandboxed(&self, pid: Pid) -> bool {
+        self.plugins.contains_key(&pid.0)
+    }
+
+    /// Violations recorded against a sandboxed plugin.
+    pub fn plugin_violations(&self, pid: Pid) -> u64 {
+        self.plugins.get(&pid.0).copied().unwrap_or(0)
+    }
+
+    /// Records a sandbox violation against `victim` and enforces the
+    /// kill-and-reclaim contract. Idempotent on the reclaim side: a
+    /// second violation against an already-reaped plugin (e.g. a call
+    /// that faulted into the dead image) only unwinds the trapped thread.
+    fn plugin_violation(&mut self, cpu: usize, tid: Tid, victim: Pid) -> u64 {
+        *self.plugins.entry(victim.0).or_insert(0) += 1;
+        if self.reaped.contains(&victim.0) {
+            let fault = Fault { pc: self.k.cpus[cpu].cpu.pc, kind: FaultKind::Crash };
+            if !self.unwind_running(cpu, tid, fault) {
+                if let Some(home) = self.k.threads.get(&tid).map(|t| t.home) {
+                    self.kill_process(home);
+                }
+            }
+        } else {
+            // The kill's visitor rescue unwinds any thread currently
+            // executing in the victim (including the one that trapped
+            // here) back to its nearest live caller.
+            self.kill_process(victim);
+        }
+        DIPC_ERR_FAULT
     }
 
     fn fresh_handle(&mut self) -> Handle {
@@ -774,6 +837,10 @@ impl System {
         if let Some(p) = self.k.procs.get_mut(&pid) {
             p.alive = false;
         }
+        // Dead processes need no ambient-syscall filter; the sandbox
+        // registry entry (and its violation count) survives for post-mortem
+        // queries and stale-fault handling.
+        self.k.syscall_filters.unrestrict(pid);
         // Rescue visitors. For running threads the authoritative "current
         // process" lives in the per-CPU area (proxies switch it without the
         // kernel seeing); the Thread struct's copy is only fresh for
@@ -1039,10 +1106,15 @@ impl System {
                 SysStep::Progress
             }
             KStep::UserFault { cpu, tid, fault } => {
-                if !self.unwind_running(cpu, tid, fault) {
+                let victim = self.k.current_pid(cpu);
+                if self.plugins.contains_key(&victim.0) {
+                    // APL violation (or crash) inside a sandboxed plugin:
+                    // fatal-on-violation escalates to kill-and-reclaim; the
+                    // visiting caller is rescued/unwound by the kill itself.
+                    self.plugin_violation(cpu, tid, victim);
+                } else if !self.unwind_running(cpu, tid, fault) {
                     // No live caller on the KCS: conventional crash — kill
                     // the process the thread is executing in.
-                    let victim = self.k.current_pid(cpu);
                     self.kill_process(victim);
                 }
                 SysStep::Progress
@@ -1212,6 +1284,15 @@ impl System {
         // syscall path").
         const EINVAL: u64 = (-22i64) as u64;
         let pid = self.k.current_pid(cpu);
+        // Sandboxed plugins have no ambient authority: a kernel syscall the
+        // filter bounced here, and every dIPC *management* request, is a
+        // violation — kill-and-reclaim, surfacing DIPC_ERR_FAULT to the
+        // unwound caller. Only track_resolve stays reachable (the proxy
+        // cold path executes it while the plugin is still the tracked
+        // process, and it is capability-checked on its own).
+        if self.plugins.contains_key(&pid.0) && nr != dsys::TRACK_RESOLVE {
+            return self.plugin_violation(cpu, _tid, pid);
+        }
         match nr {
             dsys::TRACK_RESOLVE => {
                 // Fault injection: a transient kernel-side resolve error,
@@ -1266,6 +1347,20 @@ impl System {
                     Ok(addr) => addr,
                     Err(_) => EINVAL,
                 }
+            }
+            dsys::PLUGIN_DENY => {
+                // Filter-proxy verdict: the (trusted) filter domain decided
+                // the plugin's routed syscall request was disallowed or
+                // malformed. Only the registered filter may deliver it, and
+                // only against a sandboxed plugin.
+                if Some(pid.0) != self.filter_pid {
+                    return EINVAL;
+                }
+                let victim = Pid(args[0]);
+                if !self.plugins.contains_key(&victim.0) {
+                    return EINVAL;
+                }
+                self.plugin_violation(cpu, _tid, victim)
             }
             dsys::DOM_REMAP => {
                 let (Some(d), Some(s)) = (

@@ -1,0 +1,122 @@
+//! The process-per-plugin baseline: the conventional way to sandbox
+//! untrusted extensions is one OS process per plugin behind a pipe pair
+//! (think a seccomp'd helper process). Each "tick" is a 16-byte request
+//! down the plugin's pipe, a `GETPID` syscall in the plugin (the kernel
+//! plays the role of the syscall filter), and a 16-byte reply — two
+//! kernel crossings and two scheduler hops per plugin call, against
+//! dIPC's proxy jumps.
+
+use std::collections::HashMap;
+
+use baselines::asmlib::{bump, read_exact, write_all};
+use baselines::util::make_pipe_pair;
+use cdvm::isa::reg::*;
+use cdvm::Asm;
+use dipc::System;
+use simkernel::sysno;
+use simkernel::KernelConfig;
+use simmem::{PageFlags, PAGE_SIZE};
+
+/// Outcome of a baseline run.
+#[derive(Clone, Copy, Debug)]
+pub struct BaselineRun {
+    /// Mean nanoseconds per host→plugin round trip.
+    pub per_op_ns: f64,
+    /// Round trips measured (after warm-up).
+    pub ops: u64,
+}
+
+/// Runs `iters` host iterations over `n` pipe-sandboxed plugin processes
+/// (each iteration round-trips every plugin once) and reports the mean
+/// per-round-trip latency.
+pub fn bench_proc_per_plugin(n: usize, iters: u64) -> BaselineRun {
+    let req = 16u64;
+    let warmup = (iters / 10).max(8);
+    let mut sys = System::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+    let host = sys.k.create_process("bl-host", false);
+
+    let mut pipe_fds = Vec::new();
+    let mut plugin_pids = Vec::new();
+    for i in 0..n {
+        let plug = sys.k.create_process(&format!("bl-plug{i}"), false);
+        plugin_pids.push(plug);
+        pipe_fds.push(make_pipe_pair(&mut sys, host, plug));
+    }
+
+    // Host: per iteration, write a request to every plugin and read its
+    // reply; bump the counter once per round trip.
+    let mut a = Asm::new();
+    a.li_sym(S3, "$buf");
+    a.li_sym(S4, "$counter");
+    a.li(S6, req);
+    a.label("loop");
+    for (i, (cw, cr, _, _)) in pipe_fds.iter().enumerate() {
+        a.li(S0, *cw as u64);
+        a.li(S2, *cr as u64);
+        write_all(&mut a, S0, S3, S6, &format!("h{i}"));
+        read_exact(&mut a, S2, S3, S6, &format!("h{i}"));
+        bump(&mut a, S4);
+    }
+    a.j("loop");
+    let host_prog = a.finish();
+
+    // Plugin: read a request, issue the (filter-allowed) GETPID, reply.
+    let mut plug_progs = Vec::new();
+    for (i, (_, _, sr, sw)) in pipe_fds.iter().enumerate() {
+        let mut a = Asm::new();
+        a.li(S0, *sr as u64);
+        a.li(S2, *sw as u64);
+        a.li_sym(S3, "$buf");
+        a.li(S6, req);
+        a.label("loop");
+        read_exact(&mut a, S0, S3, S6, &format!("p{i}"));
+        a.li(A7, sysno::GETPID);
+        a.push(cdvm::Instr::Ecall);
+        a.push(cdvm::Instr::St { rs1: S3, rs2: A0, imm: 0 });
+        write_all(&mut a, S2, S3, S6, &format!("p{i}"));
+        a.j("loop");
+        plug_progs.push(a.finish());
+    }
+
+    let mut counter = 0u64;
+    for (pid, prog, is_host) in std::iter::once((host, &host_prog, true))
+        .chain(plugin_pids.iter().zip(&plug_progs).map(|(p, pr)| (*p, pr, false)))
+    {
+        let buf = sys.k.alloc_mem(pid, PAGE_SIZE, PageFlags::RW);
+        let cnt = sys.k.alloc_mem(pid, PAGE_SIZE, PageFlags::RW);
+        let mut ex = HashMap::new();
+        ex.insert("$buf".to_string(), buf);
+        ex.insert("$counter".to_string(), cnt);
+        let img = sys.k.load_program(pid, prog, &ex);
+        let tid = sys.k.spawn_thread(pid, img.base, &[]);
+        sys.k.pin_thread(tid, 0);
+        if is_host {
+            counter = cnt;
+        }
+    }
+
+    let pt = sys.k.procs[&host].pt;
+    let read = |s: &System| s.k.mem.kread_u64(pt, counter).unwrap_or(u64::MAX);
+    let target_warm = warmup * n as u64;
+    sys.run_until(|s| read(s) >= target_warm);
+    let n0 = read(&sys);
+    let t0 = sys.k.now_max();
+    let target = n0 + iters * n as u64;
+    sys.run_until(|s| read(s) >= target);
+    let n1 = read(&sys);
+    let t1 = sys.k.now_max();
+    BaselineRun { per_op_ns: (t1 - t0) as f64 / (n1 - n0) as f64, ops: n1 - n0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips_and_replays() {
+        let a = bench_proc_per_plugin(2, 60);
+        assert!(a.per_op_ns > 0.0 && a.ops >= 120);
+        let b = bench_proc_per_plugin(2, 60);
+        assert_eq!(a.per_op_ns.to_bits(), b.per_op_ns.to_bits(), "bit-identical replay");
+    }
+}

@@ -1,0 +1,218 @@
+//! Guest code generators: the host service, the syscall filter-proxy
+//! domain, and the (benign or hostile) plugin images.
+//!
+//! Plugins ship as *signed blobs* ([`signed_blob`]): a serialized
+//! [`DipcImage`] wrapped in the [`simkernel::checker`] header that
+//! declares the plugin's resource grants. The host never builds a plugin
+//! from an in-memory spec — it always goes through
+//! `Checker::check` → `DipcImage::from_bytes` → `World::build_image`,
+//! exactly like an image fetched from an untrusted registry.
+
+use cdvm::isa::reg::*;
+use cdvm::isa::Reg;
+use cdvm::{Asm, Instr};
+use dipc::system::dsys;
+use dipc::{AppSpec, DipcImage, IsoProps, Signature, DIPC_ERR_FAULT};
+use simkernel::checker::{sign, GrantSet};
+use simkernel::sysno;
+
+use crate::CMD_REPLAY;
+
+/// What a plugin image does with a non-zero command word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PluginKind {
+    /// Routes syscall `cmd` (or `GETPID` when `cmd == 0`) through the
+    /// filter proxy and returns the result — the well-behaved,
+    /// crossing-heavy workhorse.
+    Benign,
+    /// Stores `arg` through the host-supplied pointer `cmd` — an APL
+    /// violation the moment the store leaves the plugin's domain.
+    WildStore,
+    /// Issues a direct `ecall`, bypassing the filter proxy — an
+    /// ambient-syscall violation.
+    RogueSyscall,
+}
+
+/// Per-plugin control-block stride in the host's `$data_ctl` region:
+/// `cmd`, `arg`, `ok`, `err` (8 bytes each).
+pub const CTL_STRIDE: u64 = 32;
+
+/// Emits `ld t1, ctl+off; addi t1, 1; st` — bump a host counter.
+fn bump_at(a: &mut Asm, base: Reg, off: i32) {
+    a.push(Instr::Ld { rd: T1, rs1: base, imm: off });
+    a.push(Instr::Addi { rd: T1, rs1: T1, imm: 1 });
+    a.push(Instr::St { rs1: base, rs2: T1, imm: off });
+}
+
+/// The host service: `main(iters)` loops `iters` times, each iteration
+/// calling every plugin's `tick(cmd, arg)` with the per-plugin command
+/// block from `$data_ctl` and counting successes/`DIPC_ERR_FAULT`s.
+/// Plugin 0 additionally honours [`CMD_REPLAY`]: the call goes through a
+/// second, never-relinked import (`tick2`) — the stale-proxy replay path
+/// the security battery exercises.
+pub fn host_spec(n: usize) -> AppSpec {
+    let mut s = AppSpec::new("host", move |a| {
+        a.align(64);
+        a.label("main");
+        a.push(Instr::Add { rd: S0, rs1: A0, rs2: ZERO });
+        a.li_sym(S1, "$data_ctl");
+        a.label("hloop");
+        a.beq(S0, ZERO, "hdone");
+        for i in 0..n {
+            let off = (CTL_STRIDE as i32) * i as i32;
+            a.push(Instr::Ld { rd: A0, rs1: S1, imm: off });
+            a.push(Instr::Ld { rd: A1, rs1: S1, imm: off + 8 });
+            if i == 0 {
+                a.li(T0, CMD_REPLAY);
+                a.bne(A0, T0, "h_norm0");
+                a.jal(RA, "call_plug0_tick2");
+                a.j("h_ret0");
+                a.label("h_norm0");
+                a.jal(RA, "call_plug0_tick");
+                a.label("h_ret0");
+            } else {
+                a.jal(RA, &format!("call_plug{i}_tick"));
+            }
+            a.li(T0, DIPC_ERR_FAULT);
+            a.beq(A0, T0, &format!("h_err{i}"));
+            bump_at(a, S1, off + 16);
+            a.j(&format!("h_next{i}"));
+            a.label(&format!("h_err{i}"));
+            bump_at(a, S1, off + 24);
+            a.label(&format!("h_next{i}"));
+        }
+        a.push(Instr::Addi { rd: S0, rs1: S0, imm: -1 });
+        a.j("hloop");
+        a.label("hdone");
+        a.li(A0, 0);
+        a.li(A7, sysno::EXIT);
+        a.push(Instr::Ecall);
+    });
+    let sig = Signature::regs(2, 1);
+    for i in 0..n {
+        s = s.import_live(&format!("plug{i}"), "tick", sig, IsoProps::HIGH, &[S0, S1]);
+    }
+    // The replay slot: same entry, separate GOT slot, never relinked.
+    s = s.import_live("plug0", "tick2", sig, IsoProps::HIGH, &[S0, S1]);
+    // Per-plugin control blocks plus a trailing "secret" word the wild
+    // store targets.
+    s.data("ctl", CTL_STRIDE * n as u64 + 64)
+}
+
+/// The syscall filter-proxy domain: one `sysreq{i}(nr, arg)` export per
+/// plugin slot. The per-slot allowlist bitmap and plugin pid live in
+/// `$data_tbl` (16 bytes per slot, driver-maintained). An allowed request
+/// executes the syscall *from the filter's protection context* (dIPC
+/// switched the tracked process at the crossing, so the kernel sees the
+/// unrestricted filter, not the restricted plugin); a denied one delivers
+/// the `PLUGIN_DENY` verdict, killing the calling plugin — the filter's
+/// subsequent return unwinds into the dead image and the host observes
+/// `DIPC_ERR_FAULT`.
+pub fn filter_spec(n: usize) -> AppSpec {
+    let mut s = AppSpec::new("filter", move |a| {
+        for i in 0..n {
+            let off = (16 * i) as i64;
+            a.align(64);
+            a.label(&format!("sysreq{i}"));
+            a.li(T2, 64);
+            a.bgeu(A0, T2, &format!("deny{i}"));
+            a.li_sym_add(T3, "$data_tbl", off);
+            a.push(Instr::Ld { rd: T3, rs1: T3, imm: 0 });
+            a.push(Instr::Srl { rd: T3, rs1: T3, rs2: A0 });
+            a.push(Instr::Andi { rd: T3, rs1: T3, imm: 1 });
+            a.beq(T3, ZERO, &format!("deny{i}"));
+            a.push(Instr::Add { rd: A7, rs1: A0, rs2: ZERO });
+            a.push(Instr::Add { rd: A0, rs1: A1, rs2: ZERO });
+            a.push(Instr::Ecall);
+            a.ret();
+            a.label(&format!("deny{i}"));
+            a.push(Instr::Add { rd: A1, rs1: A0, rs2: ZERO });
+            a.li_sym_add(T3, "$data_tbl", off + 8);
+            a.push(Instr::Ld { rd: A0, rs1: T3, imm: 0 });
+            a.li(A7, dsys::PLUGIN_DENY);
+            a.push(Instr::Ecall);
+            // The verdict killed the caller; returning unwinds into the
+            // reclaimed image and the KCS surfaces DIPC_ERR_FAULT.
+            a.ret();
+        }
+    });
+    let sig = Signature::regs(2, 1);
+    for i in 0..n {
+        s = s.export(&format!("sysreq{i}"), sig, IsoProps::HIGH);
+    }
+    s.data("tbl", 16 * n as u64)
+}
+
+/// A plugin image for slot `i`. Exports `tick(cmd, arg)` (and the alias
+/// `tick2` used by the replay battery); benign plugins import their
+/// filter slot.
+pub fn plugin_spec(i: usize, kind: PluginKind) -> AppSpec {
+    let name = format!("plug{i}");
+    let shim = format!("call_filter_sysreq{i}");
+    let sig = Signature::regs(2, 1);
+    let mut s = AppSpec::new(&name, move |a| {
+        a.align(64);
+        a.label("tick2");
+        a.label("tick");
+        match kind {
+            PluginKind::Benign => {
+                a.push(Instr::Addi { rd: SP, rs1: SP, imm: -8 });
+                a.push(Instr::St { rs1: SP, rs2: RA, imm: 0 });
+                a.push(Instr::Work { rs1: 0, imm: 120 });
+                a.bne(A0, ZERO, "usecmd");
+                a.li(A0, sysno::GETPID);
+                a.label("usecmd");
+                a.jal(RA, &shim);
+                a.push(Instr::Ld { rd: RA, rs1: SP, imm: 0 });
+                a.push(Instr::Addi { rd: SP, rs1: SP, imm: 8 });
+                a.ret();
+            }
+            PluginKind::WildStore => {
+                a.beq(A0, ZERO, "wbenign");
+                a.push(Instr::St { rs1: A0, rs2: A1, imm: 0 });
+                a.label("wbenign");
+                a.li(A0, 7);
+                a.ret();
+            }
+            PluginKind::RogueSyscall => {
+                a.beq(A0, ZERO, "rbenign");
+                a.li(A7, sysno::GETPID);
+                a.push(Instr::Ecall);
+                a.label("rbenign");
+                a.li(A0, 7);
+                a.ret();
+            }
+        }
+    })
+    .export("tick", sig, IsoProps::LOW)
+    .export("tick2", sig, IsoProps::LOW);
+    if kind == PluginKind::Benign {
+        s = s.import_live("filter", &format!("sysreq{i}"), sig, IsoProps::LOW, &[]);
+    }
+    s
+}
+
+/// The grants a well-formed plugin of `kind` declares: enough memory for
+/// its image, one thread, and (for benign plugins) the `GETPID` syscall.
+pub fn grants_for(kind: PluginKind) -> GrantSet {
+    GrantSet {
+        mem_bytes: 64 * 1024,
+        syscall_mask: if kind == PluginKind::Benign { 1 << sysno::GETPID } else { 0 },
+        threads: 1,
+    }
+}
+
+/// Builds slot `i`'s plugin as a signed blob: compile the spec to a
+/// [`DipcImage`], serialize, wrap in the signed checker header.
+pub fn signed_blob(key: u64, i: usize, kind: PluginKind) -> Vec<u8> {
+    let img = DipcImage::from_spec(&plugin_spec(i, kind));
+    sign(key, &grants_for(kind), &img.to_bytes())
+}
+
+/// A signed blob whose *declared grants* overreach the default caps — a
+/// checker-rejection fixture (valid signature, greedy declaration).
+pub fn greedy_blob(key: u64, i: usize) -> Vec<u8> {
+    let img = DipcImage::from_spec(&plugin_spec(i, PluginKind::Benign));
+    let grants = GrantSet { mem_bytes: 1 << 40, syscall_mask: 1 << sysno::GETPID, threads: 1 };
+    sign(key, &grants, &img.to_bytes())
+}

@@ -1,0 +1,101 @@
+//! Untrusted plugin domains over dIPC: checked loading, syscall-filter
+//! proxying, and kill-and-reclaim sandboxing.
+//!
+//! The scenario (ROADMAP item 5, modeled on the Endokernel / Tock-checker
+//! line of related work): a **host** service loads N untrusted plugin
+//! images into per-plugin CODOMs domains and calls them through ordinary
+//! dIPC proxies. Three defenses stack up:
+//!
+//! 1. **Checked loading** — every plugin arrives as a signed blob
+//!    ([`simkernel::checker`]): magic, version, lengths, declared resource
+//!    grants and a keyed checksum are verified deterministically before a
+//!    single byte is mapped, and the declared grants are re-enforced at
+//!    map time (image footprint vs `MemBytes`, filter allowlist vs
+//!    `Syscalls`).
+//! 2. **No ambient syscalls** — a loaded plugin is sandboxed
+//!    ([`dipc::System::sandbox_process`]): its only path to the kernel is
+//!    a dIPC call into the **filter** domain, which checks the request
+//!    against the plugin's verified allowlist bitmap and either executes
+//!    the syscall on the plugin's behalf or delivers a
+//!    `dsys::PLUGIN_DENY` verdict that kills the plugin.
+//! 3. **Kill-and-reclaim on violation** — a wild store (APL violation), a
+//!    direct `ecall`, or any dIPC management request from plugin code
+//!    kills and eagerly reclaims the plugin (the PR 3 unwind machinery);
+//!    the host's in-flight call unwinds with `DIPC_ERR_FAULT`, the host
+//!    survives, and [`world::PluginWorld::reload_plugin`] re-verifies the
+//!    blob and relinks a fresh instance.
+//!
+//! The `pluginbench` binary (crates/bench) drives crossing-heavy traffic
+//! (host↔plugin ping-pong where each benign tick also routes a syscall
+//! through the filter) against [`baseline`]'s process-per-plugin pipe
+//! configuration, a figure the paper does not have.
+
+pub mod baseline;
+pub mod images;
+pub mod world;
+
+use simkernel::checker::GrantCaps;
+use simkernel::sysno;
+
+/// Host-side command word: benign tick (plugin routes `GETPID` through
+/// the filter).
+pub const CMD_BENIGN: u64 = 0;
+/// Host-side command word: call plugin 0 through the *stale* `tick2`
+/// proxy (the forged-capability replay path; never forwarded to the
+/// plugin).
+pub const CMD_REPLAY: u64 = 2;
+
+/// Reads a `u64` environment knob (decimal, or hex with a `0x` prefix).
+fn env_u64(name: &str, default: u64) -> u64 {
+    let parse = |v: String| match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(h) => u64::from_str_radix(h, 16).ok(),
+        None => v.parse().ok(),
+    };
+    std::env::var(name).ok().and_then(parse).unwrap_or(default)
+}
+
+/// Scenario parameters (the `PLUGIN_*` environment knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct PluginParams {
+    /// Number of plugin slots (`PLUGIN_N`).
+    pub n: usize,
+    /// Host loop iterations — each iteration calls every plugin once
+    /// (`PLUGIN_OPS`).
+    pub ops: u64,
+    /// Signature verification key (`PLUGIN_KEY`).
+    pub key: u64,
+    /// Simulated CPUs.
+    pub cpus: usize,
+    /// Host resource policy for declared grants.
+    pub caps: GrantCaps,
+}
+
+impl Default for PluginParams {
+    fn default() -> PluginParams {
+        PluginParams {
+            n: 4,
+            ops: 2_000,
+            key: 0xD1FC_5EED,
+            cpus: 2,
+            caps: GrantCaps {
+                mem_bytes: 1 << 20,
+                syscall_mask: (1 << sysno::GETPID) | (1 << sysno::GETTID) | (1 << sysno::CLOCK_NS),
+                threads: 1,
+            },
+        }
+    }
+}
+
+impl PluginParams {
+    /// Parameters from the environment (`PLUGIN_N`, `PLUGIN_OPS`,
+    /// `PLUGIN_KEY`), with the documented defaults.
+    pub fn from_env() -> PluginParams {
+        let d = PluginParams::default();
+        PluginParams {
+            n: env_u64("PLUGIN_N", d.n as u64).clamp(1, 16) as usize,
+            ops: env_u64("PLUGIN_OPS", d.ops).max(1),
+            key: env_u64("PLUGIN_KEY", d.key),
+            ..d
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The assembled plugin scenario: host + filter + N sandboxed plugins,
+//! with verified loading, deterministic reload, and counter plumbing.
+
+use dipc::{DipcImage, World};
+use simfault::Site;
+use simkernel::checker::{CheckError, CheckedImage, Checker};
+use simkernel::{KernelConfig, Pid};
+use simmem::Memory;
+
+use crate::images::{filter_spec, host_spec, signed_blob, PluginKind, CTL_STRIDE};
+use crate::PluginParams;
+
+/// Why a plugin blob could not be loaded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// The checker rejected the blob (deterministic verdict).
+    Rejected(CheckError),
+    /// The verified body is not a decodable dIPC image.
+    BadImage,
+    /// The image's map-time footprint exceeds its verified `MemBytes`
+    /// grant.
+    GrantExceeded,
+    /// Injected transient verification faults exhausted the retry budget
+    /// (only reachable under a near-certain `Site::SysErr` rate).
+    TransientExhausted,
+}
+
+impl core::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LoadError::Rejected(e) => write!(f, "checker rejected blob: {e}"),
+            LoadError::BadImage => f.write_str("verified body is not a dIPC image"),
+            LoadError::GrantExceeded => f.write_str("image footprint exceeds MemBytes grant"),
+            LoadError::TransientExhausted => f.write_str("transient fault retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// The live scenario.
+pub struct PluginWorld {
+    /// The underlying dIPC world (host, filter and plugin apps).
+    pub world: World,
+    /// Plugin slot count.
+    pub n: usize,
+    /// The load-time verifier.
+    pub checker: Checker,
+    /// Per-slot plugin behavior.
+    pub kinds: Vec<PluginKind>,
+    /// Per-slot signed blobs (re-verified on every (re)load).
+    pub blobs: Vec<Vec<u8>>,
+    /// Total verification attempts, including chaos-injected transient
+    /// retries — deterministic under a fixed `simfault` seed.
+    pub load_attempts: u64,
+    /// Host control region (`$data_ctl`) base address.
+    pub ctl: u64,
+    /// Filter allowlist table (`$data_tbl`) base address.
+    pub tbl: u64,
+    /// The filter-proxy process.
+    pub filter_pid: Pid,
+    /// Per-slot verified syscall allowlists (mirrors the filter table).
+    masks: Vec<u64>,
+}
+
+impl PluginWorld {
+    /// Builds the scenario: host and filter from trusted in-memory specs,
+    /// every plugin from its *signed blob* through the full
+    /// check → decode → map-time-enforce → sandbox pipeline, then links
+    /// everything in deterministic slot order and fills the filter table.
+    pub fn build(p: &PluginParams, kinds: &[PluginKind]) -> Result<PluginWorld, LoadError> {
+        let n = kinds.len();
+        let mut world = World::new(KernelConfig { cpus: p.cpus, ..KernelConfig::default() });
+        world.build(host_spec(n));
+        world.build(filter_spec(n));
+        let blobs = kinds.iter().enumerate().map(|(i, k)| signed_blob(p.key, i, *k)).collect();
+        let mut pw = PluginWorld {
+            world,
+            n,
+            checker: Checker { key: p.key, caps: p.caps },
+            kinds: kinds.to_vec(),
+            blobs,
+            load_attempts: 0,
+            ctl: 0,
+            tbl: 0,
+            filter_pid: Pid(0),
+            masks: vec![0; n],
+        };
+        pw.filter_pid = pw.world.app("filter").pid;
+        pw.world.sys.register_filter(pw.filter_pid);
+        pw.ctl = pw.world.app("host").data["ctl"];
+        pw.tbl = pw.world.app("filter").data["tbl"];
+        for i in 0..n {
+            pw.load_plugin(i)?;
+            pw.set_filter_slot(i);
+        }
+        // Deterministic link order (never the HashMap-ordered World::link):
+        // host slots 0..n, the replay slot, then each plugin's filter import.
+        for idx in 0..=n {
+            pw.world.link_one("host", idx);
+        }
+        for i in 0..n {
+            if pw.kinds[i] == PluginKind::Benign {
+                pw.world.link_one(&format!("plug{i}"), 0);
+            }
+        }
+        Ok(pw)
+    }
+
+    /// Verifies slot `i`'s blob, retrying deterministically on injected
+    /// transient faults (`Site::SysErr` — torn reads from the image
+    /// store, the load-time analogue of a transient resolve failure).
+    /// The blob is fetched in 128-byte bursts; a fault on any burst
+    /// restarts the whole verification attempt.
+    fn verify(&mut self, i: usize) -> Result<CheckedImage, LoadError> {
+        let chunks = self.blobs[i].len().div_ceil(128).max(1);
+        'attempt: for _ in 0..64 {
+            self.load_attempts += 1;
+            if simfault::armed() {
+                let now = self.world.sys.k.now_max();
+                for _ in 0..chunks {
+                    if simfault::should(Site::SysErr, now) {
+                        continue 'attempt;
+                    }
+                }
+            }
+            return self.checker.check(&self.blobs[i]).map_err(LoadError::Rejected);
+        }
+        Err(LoadError::TransientExhausted)
+    }
+
+    /// The untrusted-load pipeline for slot `i`: verify the signed blob,
+    /// decode the body, enforce the verified grants at map time, build
+    /// the process, and sandbox it (zero ambient syscalls).
+    pub fn load_plugin(&mut self, i: usize) -> Result<Pid, LoadError> {
+        let chk = self.verify(i)?;
+        let img = DipcImage::from_bytes(&chk.body).map_err(|_| LoadError::BadImage)?;
+        let mut need = img.code.bytes.len() as u64 + 8 * img.imports.len().max(1) as u64;
+        for d in &img.domains {
+            need += d.size;
+        }
+        for (_, sz) in &img.data {
+            need += sz;
+        }
+        if need > chk.grants.mem_bytes {
+            return Err(LoadError::GrantExceeded);
+        }
+        self.world.build_image(&img);
+        let pid = self.world.app(&img.name).pid;
+        self.world.sys.sandbox_process(pid, 0);
+        self.masks[i] = chk.grants.syscall_mask;
+        Ok(pid)
+    }
+
+    /// Reloads a killed plugin: full re-verification, a fresh process
+    /// under the same name, relink of the host's slot and the plugin's
+    /// filter import, and a filter-table update. The host's replay slot
+    /// (`tick2`) is deliberately *not* relinked — stale proxies must keep
+    /// failing.
+    pub fn reload_plugin(&mut self, i: usize) -> Result<Pid, LoadError> {
+        let pid = self.load_plugin(i)?;
+        self.world.link_one("host", i);
+        if self.kinds[i] == PluginKind::Benign {
+            self.world.link_one(&format!("plug{i}"), 0);
+        }
+        self.set_filter_slot(i);
+        Ok(pid)
+    }
+
+    /// Writes slot `i`'s allowlist bitmap and plugin pid into the filter
+    /// table.
+    fn set_filter_slot(&mut self, i: usize) {
+        let pid = self.plug_pid(i);
+        let at = self.tbl + 16 * i as u64;
+        self.world.sys.k.mem.kwrite_u64(Memory::GLOBAL_PT, at, self.masks[i]).unwrap();
+        self.world.sys.k.mem.kwrite_u64(Memory::GLOBAL_PT, at + 8, pid.0).unwrap();
+    }
+
+    /// Spawns the host's main loop for `iters` iterations (each calls
+    /// every plugin once).
+    pub fn start(&mut self, iters: u64) -> simkernel::Tid {
+        self.world.spawn("host", "main", &[iters])
+    }
+
+    /// Sets slot `i`'s command block (read by the host each iteration).
+    pub fn set_cmd(&mut self, i: usize, cmd: u64, arg: u64) {
+        let at = self.ctl + CTL_STRIDE * i as u64;
+        self.world.sys.k.mem.kwrite_u64(Memory::GLOBAL_PT, at, cmd).unwrap();
+        self.world.sys.k.mem.kwrite_u64(Memory::GLOBAL_PT, at + 8, arg).unwrap();
+    }
+
+    /// Successful calls into slot `i`.
+    pub fn ok(&self, i: usize) -> u64 {
+        self.read_ctl(CTL_STRIDE * i as u64 + 16)
+    }
+
+    /// Calls into slot `i` that unwound with `DIPC_ERR_FAULT`.
+    pub fn err(&self, i: usize) -> u64 {
+        self.read_ctl(CTL_STRIDE * i as u64 + 24)
+    }
+
+    /// Address of the host's secret word (the wild-store target).
+    pub fn secret_addr(&self) -> u64 {
+        self.ctl + CTL_STRIDE * self.n as u64
+    }
+
+    /// The current process behind slot `i`.
+    pub fn plug_pid(&self, i: usize) -> Pid {
+        self.world.app(&format!("plug{i}")).pid
+    }
+
+    /// Is slot `i`'s current process alive?
+    pub fn plug_alive(&self, i: usize) -> bool {
+        self.world.sys.k.procs[&self.plug_pid(i)].alive
+    }
+
+    /// Is the host alive?
+    pub fn host_alive(&self) -> bool {
+        self.world.sys.k.procs[&self.world.app("host").pid].alive
+    }
+
+    fn read_ctl(&self, off: u64) -> u64 {
+        self.world.sys.k.mem.kread_u64(Memory::GLOBAL_PT, self.ctl + off).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PluginParams;
+
+    #[test]
+    fn benign_world_ticks() {
+        let p = PluginParams::default();
+        let mut pw = PluginWorld::build(&p, &[PluginKind::Benign, PluginKind::Benign]).unwrap();
+        let iters = 40;
+        pw.start(iters);
+        pw.world.sys.run_until(|s| s.k.live_threads == 0);
+        for i in 0..2 {
+            assert_eq!(pw.ok(i), iters, "plugin {i} ok count");
+            assert_eq!(pw.err(i), 0, "plugin {i} err count");
+            assert!(pw.plug_alive(i));
+        }
+        assert_eq!(pw.load_attempts, 2);
+    }
+
+    #[test]
+    fn greedy_blob_rejected_at_load() {
+        let p = PluginParams::default();
+        let mut pw = PluginWorld::build(&p, &[PluginKind::Benign]).unwrap();
+        pw.blobs[0] = crate::images::greedy_blob(p.key, 0);
+        assert_eq!(pw.load_plugin(0), Err(LoadError::Rejected(CheckError::OverCap(0))));
+    }
+}

@@ -241,6 +241,10 @@ pub struct Kernel {
     pub disk_busy_until: u64,
     /// Live (non-dead) thread count.
     pub live_threads: usize,
+    /// Per-process ambient-syscall restrictions (untrusted plugin
+    /// domains; see [`crate::checker`]). A restricted process's denied
+    /// syscalls bounce to the embedder as [`KStep::UnknownSyscall`].
+    pub syscall_filters: crate::checker::SyscallFilters,
     next_pid: u64,
     next_tid: u64,
     kshared_next: u64,
@@ -299,6 +303,7 @@ impl Kernel {
             kshared_dom,
             disk_busy_until: 0,
             live_threads: 0,
+            syscall_filters: crate::checker::SyscallFilters::default(),
             next_pid: 1,
             next_tid: 1,
             kshared_next,
@@ -442,6 +447,12 @@ impl Kernel {
         // Stack.
         let (sp, pt, dom) = {
             let proc = self.procs.get_mut(&pid).expect("no such process");
+            // A halted process (every thread exited cleanly; pages and
+            // entry points intact, like a shared library whose main
+            // returned) comes back to life when a new thread enters it.
+            // Without this, fault unwinds during the new thread's calls
+            // would skip the process's own KCS frames as "dead".
+            proc.alive = true;
             let idx = proc.stacks_alloc;
             proc.stacks_alloc += 1;
             if proc.dipc_enabled {
@@ -1230,6 +1241,18 @@ impl Kernel {
     }
 
     fn syscall_impl(&mut self, i: usize, tid: Tid, snr: u64, args: [u64; 6]) -> SysResult {
+        // Ambient-syscall restriction (untrusted plugin domains): a denied
+        // kernel syscall is bounced to the embedder as an unknown syscall so
+        // the dIPC policy layer can treat it as a sandbox violation. The
+        // filter keys on the per-CPU *current* process — code executing in a
+        // sandboxed domain is restricted even on a visiting host thread,
+        // while the same thread back in the filter-proxy domain is not.
+        if !self.syscall_filters.is_empty()
+            && snr < nr::EXTERNAL_BASE
+            && !self.syscall_allowed(self.current_pid(i), snr)
+        {
+            return SysResult::Unknown;
+        }
         match snr {
             nr::EXIT => SysResult::Exit(args[0]),
             nr::EXIT_GROUP => SysResult::ExitGroup(args[0]),

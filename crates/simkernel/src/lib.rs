@@ -16,6 +16,7 @@
 //! §6.1).
 
 pub mod accounting;
+pub mod checker;
 pub mod costs;
 pub mod event;
 pub mod kernel;

@@ -7,37 +7,16 @@
 //! failing pending enqueues with `DIPC_ERR_FAULT` instead of hanging or
 //! leaking ring slots.
 
+mod common;
+
 use aring::{emit, Backpressure, GuestRing, Ring, RingCfg};
 use cdvm::isa::reg::*;
 use cdvm::Instr;
+use common::{ops_done, pid_of, small_async as small};
 use dipc::{AppSpec, World};
-use oltp::async_stack::{build_async, AsyncOltp, AsyncParams};
+use oltp::async_stack::{build_async, AsyncParams};
 use simfault::FaultPlan;
-use simkernel::{KernelConfig, Pid, ThreadState};
-
-/// A quick variant of the asyncbench workload (short query bursts).
-fn small() -> AsyncParams {
-    let mut ap = AsyncParams::for_bench();
-    ap.p.queries_per_op = 8;
-    ap.batch = 4;
-    ap
-}
-
-fn ops_done(s: &AsyncOltp) -> u64 {
-    let (pt, base) = s.stack.counters;
-    (0..s.stack.slots).map(|i| s.stack.sys.k.mem.kread_u64(pt, base + i * 8).unwrap_or(0)).sum()
-}
-
-fn pid_of(s: &AsyncOltp, name: &str) -> Pid {
-    *s.stack
-        .sys
-        .k
-        .procs
-        .iter()
-        .find(|(_, p)| p.name == name)
-        .map(|(pid, _)| pid)
-        .expect("process exists")
-}
+use simkernel::{KernelConfig, ThreadState};
 
 // ---------------------------------------------------------------------
 // Capability gating: channel rings are only writable through the grant

@@ -16,10 +16,15 @@
 //!    and an armed plan with all rates at zero is cycle-identical to a
 //!    disarmed run.
 
+mod common;
+
 use baselines::asmlib::{sem_post, sem_wait};
 use cdvm::isa::reg::*;
 use cdvm::{Asm, Instr};
 use dipc::{AppSpec, IsoProps, Signature, System, World, DIPC_ERR_FAULT};
+use plugins::images::PluginKind;
+use plugins::world::PluginWorld;
+use plugins::PluginParams;
 use simfault::{FaultPlan, Site, Trigger};
 use simkernel::kernel::WakePolicy;
 use simkernel::KernelConfig;
@@ -387,22 +392,9 @@ fn double_kill_with_channels_reclaims_ring_slots_once() {
     // first kill must poison every channel the victim touches (pending
     // enqueues then fail with DIPC_ERR_FAULT instead of leaking slots);
     // the second kill must find them already closed and change nothing.
-    let mut s = oltp::async_stack::build_async(&{
-        let mut ap = oltp::async_stack::AsyncParams::for_bench();
-        ap.p.queries_per_op = 8;
-        ap.batch = 4;
-        ap
-    });
+    let mut s = oltp::async_stack::build_async(&common::small_async());
     s.stack.sys.run_until(|sys| sys.k.now_max() >= 2_000_000);
-    let php = *s
-        .stack
-        .sys
-        .k
-        .procs
-        .iter()
-        .find(|(_, p)| p.name == "php")
-        .map(|(pid, _)| pid)
-        .expect("php exists");
+    let php = common::pid_of(&s, "php");
 
     s.stack.sys.kill_process(php);
     assert!(s.stack.sys.channel_recs().iter().all(|r| r.closed));
@@ -416,4 +408,142 @@ fn double_kill_with_channels_reclaims_ring_slots_once() {
     // The poison is permanent: no channel reopens, and the survivors still
     // drain to a halt (covered in depth by tests/async_ring.rs).
     assert!(s.stack.sys.channel_recs().iter().all(|r| r.closed));
+}
+
+// ---------------------------------------------------------------------
+// Plugin chaos: the same recovery invariants on the untrusted-plugin
+// world (crates/plugins) — transient faults during load-time signature
+// verification, transient and fatal faults mid-proxy-call, and a
+// driver-level kill of a plugin while the host's calls are in flight.
+// ---------------------------------------------------------------------
+
+const PLUGIN_ITERS: u64 = 300;
+
+struct PluginOutcome {
+    ok: u64,
+    err: u64,
+    load_attempts: u64,
+    final_cycles: u64,
+    host_ran_to_completion: bool,
+    injections: u64,
+    log: String,
+}
+
+/// Transient faults throughout — drawn both by load-time verification
+/// retries and by the kernel's proxy-crossing sites — plus a mid-run kill
+/// of plugin slot 1.
+fn plugin_chaos_plan(seed: u64, victim: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .rate(Site::SysErr, 0.20)
+        .at(500_000 + seed * 20_000, Trigger::KillProcess { pid: victim })
+}
+
+/// Builds the benign three-plugin world *under* the armed plan (so the
+/// load pipeline sees verification faults), runs the host to completion,
+/// and snapshots everything observable.
+fn run_plugin_chaos(plan: Option<FaultPlan>) -> PluginOutcome {
+    if let Some(p) = plan {
+        simfault::arm(p);
+    }
+    let p = PluginParams::default();
+    let mut pw = PluginWorld::build(&p, &[PluginKind::Benign; 3]).expect("loads despite chaos");
+    pw.start(PLUGIN_ITERS);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0 || s.k.now_max() >= BUDGET);
+    let (ok, err) = (0..3).fold((0, 0), |(o, e), i| (o + pw.ok(i), e + pw.err(i)));
+    let out = PluginOutcome {
+        ok,
+        err,
+        load_attempts: pw.load_attempts,
+        final_cycles: pw.world.sys.k.now_max(),
+        host_ran_to_completion: pw.world.sys.k.live_threads == 0,
+        injections: simfault::injections(),
+        log: simfault::log_render(),
+    };
+    simfault::disarm();
+    out
+}
+
+/// The victim pid layout is deterministic; probe it once, fault-free.
+fn plugin_victim_pid() -> u64 {
+    let p = PluginParams::default();
+    let pw = PluginWorld::build(&p, &[PluginKind::Benign; 3]).expect("clean build");
+    pw.plug_pid(1).0
+}
+
+#[test]
+fn plugin_chaos_sweep_survives_load_and_proxy_faults() {
+    let victim = plugin_victim_pid();
+    let mut retried_loads = 0u64;
+    for seed in 0..8 {
+        let r = run_plugin_chaos(Some(plugin_chaos_plan(seed, victim)));
+        assert!(
+            r.host_ran_to_completion,
+            "seed {seed}: host hung — {}+{} of {} ops inside {BUDGET} cycles",
+            r.ok,
+            r.err,
+            PLUGIN_ITERS * 3
+        );
+        assert_eq!(
+            r.ok + r.err,
+            PLUGIN_ITERS * 3,
+            "seed {seed}: every host iteration must end in a result or DIPC_ERR_FAULT"
+        );
+        assert!(r.err > 0, "seed {seed}: the plugin kill must surface as host-visible faults");
+        assert!(r.injections > 0, "seed {seed}: plan injected nothing");
+        assert!(r.load_attempts >= 3, "seed {seed}: every slot is verified at least once");
+        retried_loads += r.load_attempts - 3;
+    }
+    assert!(
+        retried_loads > 0,
+        "the sweep never exercised a transient fault during load verification"
+    );
+}
+
+#[test]
+fn plugin_chaos_replays_bit_identically() {
+    let victim = plugin_victim_pid();
+    for seed in [2u64, 6] {
+        let a = run_plugin_chaos(Some(plugin_chaos_plan(seed, victim)));
+        let b = run_plugin_chaos(Some(plugin_chaos_plan(seed, victim)));
+        assert_eq!(a.log, b.log, "seed {seed}: injection logs diverged");
+        assert_eq!(a.final_cycles, b.final_cycles, "seed {seed}: cycle counts diverged");
+        assert_eq!((a.ok, a.err), (b.ok, b.err), "seed {seed}: counters diverged");
+        assert_eq!(
+            a.load_attempts, b.load_attempts,
+            "seed {seed}: load-verification retries diverged"
+        );
+    }
+}
+
+#[test]
+fn plugin_zero_rate_plan_is_cycle_identical() {
+    let clean = run_plugin_chaos(None);
+    let zero = run_plugin_chaos(Some(FaultPlan::new(123)));
+    assert_eq!(zero.injections, 0, "a zero-rate plan must not inject");
+    assert_eq!(clean.final_cycles, zero.final_cycles, "probes must cost zero cycles");
+    assert_eq!((clean.ok, clean.err), (zero.ok, zero.err));
+    assert_eq!(clean.load_attempts, zero.load_attempts);
+    assert_eq!(clean.err, 0, "a fault-free benign run sees no faults");
+}
+
+#[test]
+fn near_certain_load_faults_still_terminate_deterministically() {
+    // A 25% per-burst transient rate (~87% of whole-blob attempts torn
+    // across the 7 fetch bursts): the bounded retry loop must still
+    // converge (or fail crisply) and replay attempt-for-attempt.
+    let mut counts = Vec::new();
+    for _ in 0..2 {
+        simfault::arm(FaultPlan::new(77).rate(Site::SysErr, 0.25));
+        let p = PluginParams::default();
+        let r = PluginWorld::build(&p, &[PluginKind::Benign; 3]);
+        let attempts = match &r {
+            Ok(pw) => pw.load_attempts,
+            Err(_) => u64::MAX,
+        };
+        simfault::disarm();
+        assert!(r.is_ok(), "seed 77 converges within the retry budget");
+        counts.push(attempts);
+    }
+    assert_eq!(counts[0], counts[1], "retry streams must replay");
+    assert!(counts[0] > 3, "a near-certain torn-read rate must actually force retries");
 }

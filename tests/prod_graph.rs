@@ -9,25 +9,12 @@
 //!   (replica fail-over keeps goodput up; the victim stays dead),
 //! * determinism of admission: offered/admitted/shed splits replay exactly.
 
-use oltp::service_graph::{build, ProdParams, ProdRun, RunOpts};
-use oltp::workload::{OpenLoop, TokenBucket, WorkloadCfg};
+mod common;
+
+use common::{prod_gen as gen, prod_run as run};
+use oltp::service_graph::{build, ProdParams, RunOpts};
+use oltp::workload::TokenBucket;
 use simfault::{FaultPlan, Site, Trigger};
-
-fn gen(seed: u64, rate: f64, window_ns: u64, pp: &ProdParams) -> OpenLoop {
-    let mut cfg = WorkloadCfg::production(seed, rate, window_ns);
-    cfg.sessions = 3_000;
-    cfg.tenants = pp.tenants;
-    cfg.lanes = pp.edge_threads;
-    OpenLoop::new(cfg)
-}
-
-fn run(pp: &ProdParams, seed: u64, rate: f64, window_ns: u64) -> (ProdRun, u64) {
-    let mut s = build(pp);
-    let mut g = gen(seed, rate, window_ns, pp);
-    let mut tb = TokenBucket::new(500_000, 128);
-    let r = s.run_open_loop(&mut g, &mut tb, &RunOpts::default());
-    (r, s.sys.k.now_max())
-}
 
 #[test]
 fn graph_serves_open_loop_traffic_end_to_end() {

@@ -1,8 +1,13 @@
-//! The dIPC security model (§5.1), properties P1-P5 as executable tests.
+//! The dIPC security model (§5.1), properties P1-P5 as executable tests,
+//! plus the untrusted-plugin sandbox-escape battery (checked loading +
+//! filter proxy + kill-and-reclaim, `crates/plugins`).
 
 use cdvm::isa::reg::*;
 use cdvm::{Asm, Instr};
 use dipc::{AppSpec, IsoProps, Signature, World, DIPC_ERR_FAULT};
+use plugins::images::PluginKind;
+use plugins::world::PluginWorld;
+use plugins::{PluginParams, CMD_REPLAY};
 use simkernel::{KernelConfig, ThreadState};
 
 fn world() -> World {
@@ -403,4 +408,156 @@ fn erroneous_use_never_reaches_other_processes() {
     w.sys.run_to_completion();
     assert_eq!(w.sys.k.threads[&bt].exit_code, 77, "bystander unaffected");
     assert!(matches!(w.sys.k.threads[&at].state, ThreadState::Dead));
+}
+
+// ---------------------------------------------------------------------
+// Untrusted plugins: sandbox-escape attempts against the checked-loading
+// + filter-proxy + kill-and-reclaim stack. Each escape must kill only
+// the offending plugin, surface as DIPC_ERR_FAULT at the host, and leave
+// the host free to reload a fresh, working instance.
+// ---------------------------------------------------------------------
+
+const SECRET: u64 = 0x5EC2_E7C0_DE11;
+
+/// Builds a plugin world, plants the host's secret word, runs `iters`
+/// host iterations to completion.
+fn run_plugins(kinds: &[PluginKind], cmds: &[(usize, u64, u64)], iters: u64) -> PluginWorld {
+    let p = PluginParams::default();
+    let mut pw = PluginWorld::build(&p, kinds).expect("signed images load");
+    let pt = simmem::Memory::GLOBAL_PT;
+    pw.world.sys.k.mem.kwrite_u64(pt, pw.secret_addr(), SECRET).unwrap();
+    for (i, cmd, arg) in cmds {
+        pw.set_cmd(*i, *cmd, *arg);
+    }
+    pw.start(iters);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0);
+    pw
+}
+
+#[test]
+fn plugin_store_outside_its_domain_is_fatal_and_contained() {
+    // Plugin 1 wild-stores at the host's secret: the APL violation kills
+    // it, the host's in-flight call unwinds with DIPC_ERR_FAULT, the
+    // secret is untouched, and the benign neighbour never misses a tick.
+    let kinds = [PluginKind::Benign, PluginKind::WildStore];
+    // Command 0 is the wild-store image's benign path: it behaves until
+    // it is told where to strike.
+    let pw = run_plugins(&kinds, &[], 6);
+    assert_eq!(pw.ok(1), 6, "cmd 0 is the wild-store image's benign path");
+
+    let p = PluginParams::default();
+    let mut pw = PluginWorld::build(&p, &kinds).expect("load");
+    let pt = simmem::Memory::GLOBAL_PT;
+    pw.world.sys.k.mem.kwrite_u64(pt, pw.secret_addr(), SECRET).unwrap();
+    pw.set_cmd(1, pw.secret_addr(), 0xBAD);
+    pw.start(6);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0);
+
+    assert!(!pw.plug_alive(1), "the wild store must kill the plugin");
+    assert_eq!(pw.err(1), 6, "every attempt unwinds as DIPC_ERR_FAULT at the host");
+    assert_eq!(pw.ok(1), 0);
+    assert_eq!(pw.ok(0), 6, "the benign neighbour is unaffected");
+    assert!(pw.plug_alive(0));
+    assert_eq!(
+        pw.world.sys.k.mem.kread_u64(pt, pw.secret_addr()).unwrap(),
+        SECRET,
+        "the host's secret must be intact"
+    );
+
+    // The host reloads a fresh instance and the slot works again.
+    pw.set_cmd(1, 0, 0);
+    pw.reload_plugin(1).expect("re-verified reload");
+    assert!(pw.plug_alive(1));
+    pw.start(4);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0);
+    assert_eq!(pw.ok(1), 4, "the reloaded instance serves calls");
+}
+
+#[test]
+fn plugin_direct_syscall_bypassing_filter_is_fatal() {
+    // Plugin 1 issues a raw `ecall` instead of going through the filter
+    // proxy: the kernel's ambient-syscall filter bounces it and the
+    // sandbox policy kills the plugin.
+    let pw = run_plugins(&[PluginKind::Benign, PluginKind::RogueSyscall], &[(1, 1, 0)], 5);
+    assert!(!pw.plug_alive(1), "a direct syscall from a sandboxed plugin is fatal");
+    assert_eq!(pw.err(1), 5);
+    assert_eq!(pw.ok(1), 0, "the rogue plugin never returns a value");
+    assert_eq!(pw.ok(0), 5, "the benign neighbour is unaffected");
+    let dead = pw.plug_pid(1);
+    assert!(pw.world.sys.plugin_violations(dead) >= 1, "the violation is recorded");
+}
+
+#[test]
+fn filter_denies_unlisted_syscall_and_kills_plugin() {
+    // A *benign* plugin asks the filter for a syscall outside its verified
+    // allowlist (WRITE; the grant only lists GETPID): the filter delivers
+    // the PLUGIN_DENY verdict, the plugin dies, the host sees the fault.
+    let pw = run_plugins(
+        &[PluginKind::Benign, PluginKind::Benign],
+        &[(1, simkernel::sysno::WRITE, 0)],
+        5,
+    );
+    assert!(!pw.plug_alive(1), "a denied filter request kills the requester");
+    assert_eq!(pw.err(1), 5);
+    assert_eq!(pw.ok(0), 5, "allowlisted traffic on slot 0 keeps flowing");
+    assert!(pw.plug_alive(0));
+}
+
+#[test]
+fn forged_capability_replay_after_kill_fails() {
+    // Kill plugin 0, reload it, then drive the host's *stale* second
+    // import (`tick2`, deliberately never relinked): the old proxy's
+    // tracked target is reaped, so every replay fails with
+    // DIPC_ERR_FAULT — it must never reach the fresh instance.
+    let kinds = [PluginKind::WildStore, PluginKind::Benign];
+    let p = PluginParams::default();
+    let mut pw = PluginWorld::build(&p, &kinds).expect("load");
+    pw.set_cmd(0, pw.secret_addr(), 0xBAD);
+    pw.start(3);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0);
+    assert!(!pw.plug_alive(0), "the wild store killed plugin 0");
+    assert_eq!(pw.err(0), 3);
+
+    pw.reload_plugin(0).expect("fresh instance");
+    assert!(pw.plug_alive(0));
+    let fresh = pw.plug_pid(0);
+
+    let (ok0, err0) = (pw.ok(0), pw.err(0));
+    pw.set_cmd(0, CMD_REPLAY, 0);
+    pw.start(4);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0);
+    assert_eq!(pw.err(0), err0 + 4, "every replay through the stale proxy faults");
+    assert_eq!(pw.ok(0), ok0, "no replay may succeed");
+    assert!(pw.plug_alive(0), "the fresh instance is never touched by the replay");
+    assert_eq!(pw.plug_pid(0), fresh);
+    assert_eq!(pw.ok(1), 3 + 4, "the benign neighbour served every iteration");
+}
+
+#[test]
+fn double_violation_reclaims_once() {
+    // The first wild store kills and reclaims plugin 1; the remaining
+    // iterations hit the now-stale slot and must surface as faults
+    // *without* re-running reclaim. An explicit second kill is also a
+    // no-op on the frame count.
+    let kinds = [PluginKind::Benign, PluginKind::WildStore];
+    let p = PluginParams::default();
+    let mut pw = PluginWorld::build(&p, &kinds).expect("load");
+    pw.set_cmd(1, pw.secret_addr(), 0xBAD);
+    pw.start(6);
+    pw.world.sys.run_until(|s| s.k.live_threads == 0);
+
+    let dead = pw.plug_pid(1);
+    assert!(!pw.plug_alive(1));
+    assert_eq!(pw.err(1), 6, "violation + stale calls all fault");
+    assert!(
+        pw.world.sys.plugin_violations(dead) >= 1,
+        "the violation was recorded against the instance"
+    );
+    let live = pw.world.sys.k.mem.phys().live_frames();
+    pw.world.sys.kill_process(dead);
+    assert_eq!(
+        pw.world.sys.k.mem.phys().live_frames(),
+        live,
+        "a second kill of the same plugin must not re-reclaim"
+    );
 }
