@@ -1,15 +1,25 @@
 //! Host simulation speed: how many simulated instructions per host second
-//! the executor retires across the 2×2 host-cache mode matrix — the
-//! per-instruction fast path (decoded-instruction cache, host translation
-//! cache, slab frame store; `CDVM_NO_FASTPATH=1` disables) crossed with the
-//! superblock engine (`CDVM_NO_BLOCKS=1` disables).
+//! the executor retires across the host-cache mode matrix — the
+//! per-instruction fast path (decoded-instruction cache;
+//! `CDVM_NO_FASTPATH=1` disables), the superblock engine
+//! (`CDVM_NO_BLOCKS=1`), the cross-domain superblock layer (crossing
+//! descriptors + memory-operand translation cache; `CDVM_NO_XBLOCKS=1`)
+//! and direct-threaded dispatch (`CDVM_NO_THREADED=1`).
 //!
 //! Unlike every other binary here, this one measures *wall-clock* host
 //! performance, not simulated cycles — the simulated results are identical
-//! in all four modes by construction (see `tests/fastpath_diff.rs`). Emits
-//! `results/BENCH_simspeed.json`, including the block/icache hit rates of
-//! the full configuration and the host CPU count (wall-clock numbers are
+//! in all modes by construction (see `tests/fastpath_diff.rs`). Emits
+//! `results/BENCH_simspeed.json`, including the crossing-descriptor,
+//! block, icache and data-translation-cache hit rates of the full
+//! configuration and the host CPU count (wall-clock numbers are
 //! hardware-dependent).
+//!
+//! `SIMSPEED_ASSERT=1` additionally asserts (a) that the host cache
+//! counters are identical across repeated trials — the deterministic part
+//! of the emitted JSON regenerates bit-identically — and (b) that the
+//! full configuration beats the fastpath-only configuration on every
+//! workload. Both asserts are skipped when any `CDVM_NO_*` kill switch is
+//! set (the matrix is then deliberately degraded).
 
 use std::time::Instant;
 
@@ -17,21 +27,32 @@ use cdvm::isa::reg::*;
 use cdvm::{Asm, CostModel, Cpu, HostCacheStats, Instr, StepEvent};
 use codoms::apl::{Apl, Perm};
 use codoms::cap::RevocationTable;
+use dipc::{AppSpec, IsoProps, Signature, System, World};
+use simkernel::KernelConfig;
 use simmem::{DomainTag, Memory, PageFlags};
 
 const CODE: u64 = 0x10_000;
 const DATA: u64 = 0x20_000;
 const CALLEE: u64 = 0x40_000;
 
+enum Kind {
+    /// Bare CPU + memory, no kernel: `code` at `CODE` in domain 1, with an
+    /// optional `callee` page at `CALLEE` in domain 2.
+    Raw { code: Vec<u8>, callee: Option<Vec<u8>> },
+    /// A full dIPC world: a caller process invoking a server export
+    /// through the run-time generated proxy (enter/return pair).
+    Proxy,
+}
+
 struct Workload {
     name: &'static str,
     desc: &'static str,
-    code: Vec<u8>,
-    callee: Option<Vec<u8>>,
+    kind: Kind,
 }
 
 fn workloads() -> Vec<Workload> {
-    // ALU-heavy spin loop: fetch/decode dominates.
+    // ALU-heavy spin loop: fetch/decode dominates; the whole block body is
+    // pure, so direct-threaded dispatch covers it end to end.
     let mut a = Asm::new();
     a.li(T0, 0);
     a.label("loop");
@@ -54,7 +75,7 @@ fn workloads() -> Vec<Workload> {
     let mem = a.finish().bytes;
 
     // Cross-domain call ping-pong: every iteration crosses domains twice,
-    // stressing the fetch path's crossing checks on cached pages.
+    // stressing the block-edge crossing descriptors.
     let mut a = Asm::new();
     a.li(T0, CALLEE);
     a.label("loop");
@@ -67,36 +88,39 @@ fn workloads() -> Vec<Workload> {
     let xcall_callee = a.finish().bytes;
 
     vec![
-        Workload { name: "alu", desc: "register arithmetic spin loop", code: alu, callee: None },
+        Workload {
+            name: "alu",
+            desc: "register arithmetic spin loop",
+            kind: Kind::Raw { code: alu, callee: None },
+        },
         Workload {
             name: "mem",
             desc: "load/store loop (checked data path)",
-            code: mem,
-            callee: None,
+            kind: Kind::Raw { code: mem, callee: None },
         },
         Workload {
             name: "xcall",
             desc: "cross-domain call ping-pong",
-            code: xcall_caller,
-            callee: Some(xcall_callee),
+            kind: Kind::Raw { code: xcall_caller, callee: Some(xcall_callee) },
         },
+        Workload { name: "proxy", desc: "dIPC proxy enter/return pair", kind: Kind::Proxy },
     ]
 }
 
-/// Builds a fresh machine for `w` (both cache modes are sampled at
-/// construction, so callers flip `simmem::set_fastpath`/`set_blocks`
-/// first).
-fn build(w: &Workload) -> (Memory, Cpu) {
+/// Builds a fresh bare machine for a raw workload (all cache modes are
+/// sampled at CPU construction, so callers flip the `simmem::set_*`
+/// switches first).
+fn build(code: &[u8], callee: Option<&Vec<u8>>) -> (Memory, Cpu) {
     let mut mem = Memory::new();
     let pt = Memory::GLOBAL_PT;
     mem.map_anon(pt, CODE, 4, PageFlags::RX, DomainTag(1));
     mem.map_anon(pt, DATA, 4, PageFlags::RW, DomainTag(1));
-    mem.kwrite(pt, CODE, &w.code).unwrap();
+    mem.kwrite(pt, CODE, code).unwrap();
     let mut cpu = Cpu::new(0);
     cpu.pc = CODE;
     cpu.cur_dom = DomainTag(1);
     cpu.thread = 1;
-    if let Some(callee) = &w.callee {
+    if let Some(callee) = callee {
         mem.map_anon(pt, CALLEE, 1, PageFlags::RX, DomainTag(2));
         mem.kwrite(pt, CALLEE, callee).unwrap();
         let mut apl1 = Apl::new();
@@ -109,11 +133,12 @@ fn build(w: &Workload) -> (Memory, Cpu) {
     (mem, cpu)
 }
 
-/// One timed trial: runs `w` for at least `target` retired instructions
-/// and returns host MIPS (million simulated instructions per host second)
-/// plus the host cache counters accumulated over the timed region.
-fn trial(w: &Workload, target: u64) -> (f64, HostCacheStats) {
-    let (mut mem, mut cpu) = build(w);
+/// One timed trial of a raw workload: runs it for at least `target`
+/// retired instructions and returns host MIPS (million simulated
+/// instructions per host second) plus the host cache counters accumulated
+/// over the timed region.
+fn trial_raw(code: &[u8], callee: Option<&Vec<u8>>, target: u64) -> (f64, HostCacheStats) {
+    let (mut mem, mut cpu) = build(code, callee);
     let mut rev = RevocationTable::new();
     let cost = CostModel::default();
     // Warm up (fills caches, faults in frames) before the timed region.
@@ -124,32 +149,98 @@ fn trial(w: &Workload, target: u64) -> (f64, HostCacheStats) {
     while retired < target {
         let exit = cpu.run(&mut mem, &mut rev, &cost, cpu.cycles + 1_000_000);
         retired += exit.retired;
-        assert!(
-            matches!(exit.event, StepEvent::Retired),
-            "{}: unexpected exit {:?}",
-            w.name,
-            exit.event
-        );
+        assert!(matches!(exit.event, StepEvent::Retired), "unexpected exit {:?}", exit.event);
     }
     let secs = start.elapsed().as_secs_f64();
     (retired as f64 / 1e6 / secs.max(1e-9), cpu.host_cache_stats().delta(&warm))
 }
 
-/// Best of three trials. Wall-clock MIPS on a short region is dominated by
-/// host frequency ramping and scheduler noise; the fastest trial is the
-/// stable estimator of what the executor can sustain.
-fn measure(w: &Workload, target: u64) -> (f64, HostCacheStats) {
-    (0..3).map(|_| trial(w, target)).max_by(|a, b| a.0.total_cmp(&b.0)).unwrap()
+/// One timed trial of the dIPC proxy workload: a caller process invokes a
+/// server export through the run-time generated proxy, so every iteration
+/// executes a real enter/return pair — capability spill/fill on the DCS,
+/// the grant/revoke protocol, and a chain of cross-domain block edges for
+/// the crossing descriptors to serve.
+fn trial_proxy(target: u64) -> (f64, HostCacheStats) {
+    let mut w = World::new(KernelConfig { cpus: 1, ..KernelConfig::default() });
+    let sig = Signature { args: 2, rets: 1, stack_bytes: 0, cap_args: 1 };
+    w.build(
+        AppSpec::new("srv", |a| {
+            a.label("f");
+            a.li(A0, 1);
+            a.ret();
+        })
+        .export("f", sig, IsoProps::LOW),
+    );
+    w.build(
+        AppSpec::new("cli", |a| {
+            a.label("main");
+            a.label("loop");
+            a.li(A0, 0);
+            a.li(A1, 0);
+            a.jal(RA, "call_srv_f");
+            a.j("loop");
+        })
+        .import("srv", "f", sig, IsoProps::LOW),
+    );
+    w.link();
+    w.spawn("cli", "main", &[]);
+    let retired = |s: &System| s.k.cpus.iter().map(|c| c.cpu.retired).sum::<u64>();
+    // Warm up: generate and fault in the proxy, fill the caches.
+    let warm_goal = retired(&w.sys) + 200_000;
+    w.sys.run_until(|s| retired(s) >= warm_goal);
+    let warm = w.sys.k.cpus[0].cpu.host_cache_stats();
+    let n0 = retired(&w.sys);
+    let goal = n0 + target;
+    let start = Instant::now();
+    w.sys.run_until(|s| retired(s) >= goal);
+    let secs = start.elapsed().as_secs_f64();
+    let n1 = retired(&w.sys);
+    ((n1 - n0) as f64 / 1e6 / secs.max(1e-9), w.sys.k.cpus[0].cpu.host_cache_stats().delta(&warm))
 }
 
-/// The four cache configurations, in reporting order:
-/// `(key, fastpath, blocks)`.
-const MODES: [(&str, bool, bool); 4] = [
-    ("interp", false, false),
-    ("fastpath", true, false),
-    ("blocks_nofp", false, true),
-    ("blocks", true, true),
+fn trial(w: &Workload, target: u64) -> (f64, HostCacheStats) {
+    match &w.kind {
+        Kind::Raw { code, callee } => trial_raw(code, callee.as_ref(), target),
+        Kind::Proxy => trial_proxy(target),
+    }
+}
+
+/// Best of three trials. Wall-clock MIPS on a short region is dominated by
+/// host frequency ramping and scheduler noise; the fastest trial is the
+/// stable estimator of what the executor can sustain. With
+/// `assert_identity`, the host cache counters of all trials must agree
+/// exactly (the simulation is deterministic; the counters are the
+/// reproducible part of the emitted JSON).
+fn measure(w: &Workload, target: u64, assert_identity: bool) -> (f64, HostCacheStats) {
+    let trials: Vec<(f64, HostCacheStats)> = (0..3).map(|_| trial(w, target)).collect();
+    if assert_identity {
+        for t in &trials[1..] {
+            assert_eq!(
+                t.1, trials[0].1,
+                "{}: host cache counters must be identical across trials",
+                w.name
+            );
+        }
+    }
+    trials.into_iter().max_by(|a, b| a.0.total_cmp(&b.0)).unwrap()
+}
+
+/// The six cache configurations, in reporting order:
+/// `(key, fastpath, blocks, xblocks, threaded)`.
+const MODES: [(&str, bool, bool, bool, bool); 6] = [
+    ("interp", false, false, false, false),
+    ("fastpath", true, false, false, false),
+    ("blocks_nofp", false, true, false, false),
+    ("blocks", true, true, false, false),
+    ("xblocks", true, true, true, false),
+    ("full", true, true, true, true),
 ];
+
+const INTERP: usize = 0;
+const FASTPATH: usize = 1;
+const BLOCKS: usize = 3;
+const XBLOCKS: usize = 4;
+const FULL: usize = 5;
 
 fn geomean(ratios: impl Iterator<Item = f64>) -> f64 {
     let (sum, n) = ratios.fold((0.0, 0usize), |(s, n), r| (s + r.ln(), n + 1));
@@ -164,58 +255,93 @@ fn main() {
     // cache the environment disabled stays disabled (and says so).
     let no_fp = std::env::var("CDVM_NO_FASTPATH").is_ok();
     let no_blocks = std::env::var("CDVM_NO_BLOCKS").is_ok();
+    let no_xblocks = std::env::var("CDVM_NO_XBLOCKS").is_ok();
+    let no_threaded = std::env::var("CDVM_NO_THREADED").is_ok();
+    let degraded = no_fp || no_blocks || no_xblocks || no_threaded;
     if no_fp {
         println!("note: CDVM_NO_FASTPATH is set; fastpath modes run uncached");
     }
     if no_blocks {
         println!("note: CDVM_NO_BLOCKS is set; block modes run without the block engine");
     }
+    if no_xblocks {
+        println!("note: CDVM_NO_XBLOCKS is set; crossing/data caches stay off");
+    }
+    if no_threaded {
+        println!("note: CDVM_NO_THREADED is set; direct-threaded dispatch stays off");
+    }
+    let do_assert = std::env::var("SIMSPEED_ASSERT").is_ok() && !degraded;
     println!(
-        "{:<8} {:<36} {:>9} {:>9} {:>9} {:>9} {:>8} {:>7}",
-        "workload", "description", "interp", "fastpath", "blk-nofp", "blocks", "speedup", "blkhit"
+        "{:<8} {:<34} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+        "workload",
+        "description",
+        "interp",
+        "fastpath",
+        "blk-nofp",
+        "blocks",
+        "xblocks",
+        "full",
+        "vs-blk",
+        "xhit"
     );
 
     struct Row {
         name: &'static str,
         desc: &'static str,
-        mips: [f64; 4],
+        mips: [f64; 6],
         caches: HostCacheStats,
     }
     let mut rows = Vec::new();
     for w in workloads() {
-        let mut mips = [0.0f64; 4];
+        let mut mips = [0.0f64; 6];
         let mut caches = HostCacheStats::default();
-        for (k, &(_, fastpath, blocks)) in MODES.iter().enumerate() {
+        for (k, &(_, fastpath, blocks, xblocks, threaded)) in MODES.iter().enumerate() {
             simmem::set_fastpath(Some(fastpath && !no_fp));
             simmem::set_blocks(Some(blocks && !no_blocks));
-            let (m, c) = measure(&w, target);
+            simmem::set_xblocks(Some(xblocks && !no_xblocks));
+            simmem::set_threaded(Some(threaded && !no_threaded));
+            let (m, c) = measure(&w, target, do_assert);
             mips[k] = m;
-            if fastpath && blocks {
+            if k == FULL {
                 caches = c;
             }
         }
         simmem::set_fastpath(None);
         simmem::set_blocks(None);
-        let speedup = mips[3] / mips[0];
+        simmem::set_xblocks(None);
+        simmem::set_threaded(None);
         println!(
-            "{:<8} {:<36} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>7.2}x {:>6.1}%",
+            "{:<8} {:<34} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.2}x {:>6.1}%",
             w.name,
             w.desc,
-            mips[0],
-            mips[1],
+            mips[INTERP],
+            mips[FASTPATH],
             mips[2],
-            mips[3],
-            speedup,
-            100.0 * caches.block_hit_rate()
+            mips[BLOCKS],
+            mips[XBLOCKS],
+            mips[FULL],
+            mips[FULL] / mips[BLOCKS],
+            100.0 * caches.cross_hit_rate()
         );
+        if do_assert {
+            assert!(
+                mips[FULL] / mips[FASTPATH] >= 1.0,
+                "{}: full configuration ({:.2} MIPS) must not lose to fastpath-only ({:.2} MIPS)",
+                w.name,
+                mips[FULL],
+                mips[FASTPATH]
+            );
+        }
         rows.push(Row { name: w.name, desc: w.desc, mips, caches });
     }
 
-    let geo_total = geomean(rows.iter().map(|r| r.mips[3] / r.mips[0]));
-    let geo_vs_fastpath = geomean(rows.iter().map(|r| r.mips[3] / r.mips[1]));
+    let geo_total = geomean(rows.iter().map(|r| r.mips[FULL] / r.mips[INTERP]));
+    let geo_vs_fastpath = geomean(rows.iter().map(|r| r.mips[FULL] / r.mips[FASTPATH]));
+    let geo_vs_blocks = geomean(rows.iter().map(|r| r.mips[FULL] / r.mips[BLOCKS]));
     println!(
-        "geomean speedup: {geo_total:.2}x vs interp, {geo_vs_fastpath:.2}x vs fastpath-only \
-         (acceptance floor: 1.50x geomean over the committed fastpath baseline)"
+        "geomean speedup: {geo_total:.2}x vs interp, {geo_vs_fastpath:.2}x vs fastpath-only, \
+         {geo_vs_blocks:.2}x vs block engine (acceptance floor: 2.00x geomean over the \
+         committed block-engine baseline)"
     );
 
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -226,18 +352,28 @@ fn main() {
                 "    {{\"workload\": \"{}\", \"description\": \"{}\", \
                  \"mips_slowpath\": {:.3}, \"mips_fastpath\": {:.3}, \
                  \"mips_blocks_nofp\": {:.3}, \"mips_blocks\": {:.3}, \
+                 \"mips_xblocks\": {:.3}, \"mips_threaded\": {:.3}, \
                  \"speedup\": {:.3}, \"speedup_vs_fastpath\": {:.3}, \
-                 \"block_hit_rate\": {:.4}, \"icache_hit_rate\": {:.4}}}",
+                 \"speedup_vs_blocks\": {:.3}, \
+                 \"block_hit_rate\": {:.4}, \"icache_hit_rate\": {:.4}, \
+                 \"cross_hit_rate\": {:.4}, \"dcache_hit_rate\": {:.4}, \
+                 \"block_evict_conflicts\": {}}}",
                 r.name,
                 r.desc,
-                r.mips[0],
-                r.mips[1],
+                r.mips[INTERP],
+                r.mips[FASTPATH],
                 r.mips[2],
-                r.mips[3],
-                r.mips[3] / r.mips[0],
-                r.mips[3] / r.mips[1],
+                r.mips[BLOCKS],
+                r.mips[XBLOCKS],
+                r.mips[FULL],
+                r.mips[FULL] / r.mips[INTERP],
+                r.mips[FULL] / r.mips[FASTPATH],
+                r.mips[FULL] / r.mips[BLOCKS],
                 r.caches.block_hit_rate(),
                 r.caches.icache_hit_rate(),
+                r.caches.cross_hit_rate(),
+                r.caches.dcache_hit_rate(),
+                r.caches.block_evict_conflicts,
             )
         })
         .collect();
@@ -246,6 +382,7 @@ fn main() {
          \"target_instructions\": {target},\n  \"host_cpus\": {host_cpus},\n  \
          \"geomean_speedup\": {geo_total:.3},\n  \
          \"geomean_speedup_vs_fastpath\": {geo_vs_fastpath:.3},\n  \
+         \"geomean_speedup_vs_blocks\": {geo_vs_blocks:.3},\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );

@@ -48,19 +48,50 @@
 //! at the SMP barrier all force re-formation. Chain links carry a fill
 //! sequence number and are ignored when the target slot was refilled.
 //!
+//! # Cross-domain superblocks
+//!
+//! A block whose entry page belongs to a different domain than the caller
+//! pays the full CODOMs crossing check on every dispatch — the dominant
+//! host cost of proxy ping-pong chains. Each cache way can therefore carry
+//! a [`CrossDesc`]: a pre-validated crossing descriptor recording who
+//! crossed into the block, what granted the crossing, and the APL-cache
+//! content version it was proven against. While the descriptor validates
+//! (same source/target domain, unchanged APL version, and — for
+//! capability grants — the identical capability still present and
+//! unrevoked), the executor replays only the crossing's architectural
+//! side effects and skips the full [`codoms::Checker::check_jump`] scan.
+//! Gated by `CDVM_NO_XBLOCKS=1` ([`simmem::xblocks_enabled`]).
+//!
+//! # Direct-threaded dispatch
+//!
+//! Each [`BlockInstr`] carries a pre-resolved handler index for *pure*
+//! instructions (infallible, unprivileged, non-memory; see
+//! [`crate::threaded`]), and [`Block::pure_len`] is the length of the
+//! maximal pure prefix. ALU-dense bodies dispatch through the handler
+//! table instead of the full `execute()` match. Gated by
+//! `CDVM_NO_THREADED=1` ([`simmem::threaded_enabled`]).
+//!
 //! Disable at runtime with `CDVM_NO_BLOCKS=1` (see
 //! [`simmem::blocks_enabled`]); composes with `CDVM_NO_FASTPATH=1`, which
 //! gates the per-instruction caches independently.
 
+use codoms::cap::Capability;
+use codoms::HwTag;
 use simmem::page::{page_offset, vpn};
-use simmem::{PageTableId, Pte, PAGE_SIZE};
+use simmem::{DomainTag, PageTableId, Pte, PAGE_SIZE};
 use std::sync::Arc;
 
 use crate::cost::CostModel;
 use crate::isa::{Instr, INSTR_BYTES};
 
-/// Number of direct-mapped block slots.
-const ENTRIES: usize = 512;
+/// Number of cache sets.
+const SETS: usize = 256;
+
+/// Associativity: ways per set.
+const WAYS: usize = 2;
+
+/// Total block slots.
+const ENTRIES: usize = SETS * WAYS;
 
 /// Maximum instructions per block. Bounds [`Block::max_cost`] (and with it
 /// the deadline slack a block needs to be dispatched) and formation work.
@@ -75,6 +106,18 @@ pub struct BlockInstr {
     pub privileged: bool,
     /// May write simulated memory (forces a code-epoch re-check after it).
     pub may_write: bool,
+    /// Direct-threaded handler index (0 = not pure; dispatch through the
+    /// full `execute()` match). See [`crate::threaded`].
+    pub handler: u8,
+    /// Pre-extracted destination register for the threaded handlers
+    /// (0 for non-pure instructions).
+    pub rd: u8,
+    /// Pre-extracted first source register.
+    pub rs1: u8,
+    /// Pre-extracted second source register.
+    pub rs2: u8,
+    /// Pre-extracted immediate.
+    pub imm: i32,
 }
 
 /// How a block ends — used for chaining to the successor block.
@@ -126,6 +169,10 @@ pub struct Block {
     pub max_cost: u64,
     /// Successor shape.
     pub end: BlockEnd,
+    /// Length of the maximal leading run of *pure* instructions (every
+    /// `instrs[..pure_len]` has a non-zero [`BlockInstr::handler`]); the
+    /// direct-threaded dispatch loop covers exactly this prefix.
+    pub pure_len: usize,
 }
 
 /// Static per-instruction worst-case cycle cost, or `None` if the cost is
@@ -235,10 +282,16 @@ pub fn form_block(
             break;
         };
         max_cost += c;
+        let (handler, rd, rs1, rs2, imm) = crate::threaded::classify(&instr);
         instrs.push(BlockInstr {
             instr,
             privileged: instr.is_privileged(),
             may_write: may_write(&instr),
+            handler,
+            rd,
+            rs1,
+            rs2,
+            imm,
         });
         if is_terminator(&instr) {
             end = match instr {
@@ -287,6 +340,7 @@ pub fn form_block(
     if instrs.is_empty() {
         max_cost = 0;
     }
+    let pure_len = instrs.iter().take_while(|bi| bi.handler != 0).count();
     Block {
         pt,
         entry,
@@ -296,7 +350,59 @@ pub fn form_block(
         instrs: instrs.into_boxed_slice(),
         max_cost,
         end,
+        pure_len,
     }
+}
+
+/// How the crossing's APL-cache probe resolved at validation time. The
+/// replayed [`codoms::AplCache::touch`] / [`codoms::AplCache::note_miss`]
+/// leave the simulated cache in exactly the state the skipped
+/// `check_jump`'s lookup would (same tick, recency and counters), which
+/// the unchanged content version guarantees is still the outcome a fresh
+/// lookup would produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossProbe {
+    /// The source domain's APL was cached in slot `HwTag`.
+    Hit(HwTag),
+    /// The source domain's APL was not cached (the crossing was granted by
+    /// a capability in parallel with the miss).
+    Miss,
+}
+
+/// What authorised the cached crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossGrant {
+    /// An APL grant. Valid while the APL-cache content version is
+    /// unchanged (the entry PC, and with it the call-gate alignment, is
+    /// fixed per block).
+    Apl,
+    /// Capability register `idx` held exactly `cap`. Revalidated against
+    /// the live register file and revocation table on every use, so a
+    /// revocation or register change between crossings forces the full
+    /// check.
+    Cap {
+        /// The granting capability register.
+        idx: u8,
+        /// The capability it held at validation time.
+        cap: Capability,
+    },
+}
+
+/// A pre-validated CODOMs crossing descriptor stored on a block-cache way
+/// (see the module docs). Only *successful* crossings are cached; the
+/// descriptor is cleared whenever the way is refilled.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossDesc {
+    /// Source domain (the caller's `cur_dom`).
+    pub from: DomainTag,
+    /// Target domain (the block's entry-page tag).
+    pub to: DomainTag,
+    /// [`codoms::AplCache::version`] the decision was proven against.
+    pub apl_version: u64,
+    /// How the APL-cache probe resolved.
+    pub probe: CrossProbe,
+    /// What granted the crossing.
+    pub grant: CrossGrant,
 }
 
 /// A chain link: the successor block expected at `pc`, by cache slot and
@@ -317,6 +423,10 @@ struct Slot {
     /// monomorphic target hint for indirect ends), `[1]` for the branch
     /// fall-through edge.
     hints: [Option<Hint>; 2],
+    /// Recency stamp for LRU victim selection within the set.
+    last: u64,
+    /// Cached crossing descriptor for this way's block (see [`CrossDesc`]).
+    cross: Option<CrossDesc>,
 }
 
 /// Host-side block-cache counters.
@@ -328,18 +438,31 @@ pub struct BlockStats {
     pub misses: u64,
     /// Blocks formed and installed.
     pub fills: u64,
-    /// Fills that displaced a live block (direct-mapped conflict).
+    /// Fills that displaced a live block.
     pub evicts: u64,
+    /// Evictions that displaced a block of a *different* `(pt, entry)` —
+    /// genuine set-capacity conflicts, as opposed to in-place refills of a
+    /// stale block.
+    pub evict_conflicts: u64,
     /// Block-to-block transfers taken through a chain hint.
     pub chains: u64,
     /// Mid-block aborts after a code-epoch bump (self-modifying write).
     pub bails: u64,
+    /// Crossing checks served by a valid crossing descriptor.
+    pub cross_hits: u64,
+    /// Crossing checks that ran the full `check_jump` (no descriptor, or a
+    /// stale one).
+    pub cross_misses: u64,
 }
 
-/// Direct-mapped cache of [`Block`]s keyed by `(page table, entry pc)`.
+/// 2-way set-associative cache of [`Block`]s keyed by `(page table,
+/// entry pc)`, with per-way LRU replacement inside each set. Ways are
+/// addressed by a flat *slot index* (`set * WAYS + way`) so chain hints
+/// and crossing descriptors can reference a way directly.
 pub struct BlockCache {
     slots: Vec<Slot>,
     seq: u64,
+    tick: u64,
     stats: BlockStats,
 }
 
@@ -353,19 +476,33 @@ impl BlockCache {
     /// Creates an empty cache.
     pub fn new() -> BlockCache {
         BlockCache {
-            slots: (0..ENTRIES).map(|_| Slot { block: None, seq: 0, hints: [None; 2] }).collect(),
+            slots: (0..ENTRIES)
+                .map(|_| Slot { block: None, seq: 0, hints: [None; 2], last: 0, cross: None })
+                .collect(),
             seq: 0,
+            tick: 0,
             stats: BlockStats::default(),
         }
     }
 
+    /// A zero-capacity placeholder, used to detach the real cache from the
+    /// CPU for the duration of block dispatch (so block bodies can be
+    /// borrowed from it while the CPU stays mutably borrowable). Any
+    /// lookup or insert on it would panic; the dispatch loop never lets
+    /// one escape.
+    pub(crate) fn hollow() -> BlockCache {
+        BlockCache { slots: Vec::new(), seq: 0, tick: 0, stats: BlockStats::default() }
+    }
+
     #[inline]
-    fn index(pt: PageTableId, entry: u64) -> usize {
-        // Fold the high address bits down: code spread across pages keeps
-        // the same low slot bits (page starts, common entry offsets), so a
-        // plain low-bit mask would alias every such pair.
-        let k = (entry / INSTR_BYTES) as usize;
-        (k ^ (k >> 9) ^ (k >> 18) ^ pt.0.wrapping_mul(0x9e37_79b9)) & (ENTRIES - 1)
+    fn set_of(pt: PageTableId, entry: u64) -> usize {
+        // Fibonacci multiply hash, indexed from the *top* bits of the
+        // product so every entry bit influences the set: code regions that
+        // differ only far above the page offset (dIPC proxy pages and
+        // service segments at identical page offsets in distant VA windows)
+        // alias under any shift-xor fold of the low bits.
+        let k = (entry / INSTR_BYTES).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((k >> 56) as usize ^ pt.0.wrapping_mul(0x9e37_79b9)) & (SETS - 1)
     }
 
     #[inline]
@@ -375,7 +512,8 @@ impl BlockCache {
 
     /// Looks up the block entered at `(pt, entry)`, validating it against
     /// the current table generation and code epoch. Returns the slot index
-    /// (for chain-hint maintenance) and the block.
+    /// (resolve the block itself with [`BlockCache::block_at`] — the hot
+    /// dispatch loop borrows it in place rather than cloning a handle).
     #[inline]
     pub fn lookup(
         &mut self,
@@ -383,36 +521,71 @@ impl BlockCache {
         entry: u64,
         table_gen: u64,
         code_epoch: u64,
-    ) -> Option<(usize, Arc<Block>)> {
-        let idx = Self::index(pt, entry);
-        if let Some(b) = &self.slots[idx].block {
-            if Self::valid(b, pt, entry, table_gen, code_epoch) {
-                self.stats.hits += 1;
-                return Some((idx, Arc::clone(b)));
+    ) -> Option<usize> {
+        let base = Self::set_of(pt, entry) * WAYS;
+        for idx in base..base + WAYS {
+            if let Some(b) = &self.slots[idx].block {
+                if Self::valid(b, pt, entry, table_gen, code_epoch) {
+                    self.stats.hits += 1;
+                    self.tick += 1;
+                    self.slots[idx].last = self.tick;
+                    return Some(idx);
+                }
             }
         }
         self.stats.misses += 1;
         None
     }
 
+    /// The live block in `slot`. Panics on an empty way: callers only pass
+    /// indices just returned by [`BlockCache::lookup`] /
+    /// [`BlockCache::insert`] / [`BlockCache::follow_hint`].
+    #[inline]
+    pub fn block_at(&self, slot: usize) -> &Block {
+        self.slots[slot].block.as_deref().expect("slot holds a block")
+    }
+
     /// Installs a freshly formed block, returning its slot index and a
-    /// handle to it.
-    pub fn insert(&mut self, block: Block) -> (usize, Arc<Block>) {
-        let idx = Self::index(block.pt, block.entry);
-        let slot = &mut self.slots[idx];
-        if slot.block.is_some() {
+    /// handle to it. The victim way is, in priority order: the way already
+    /// holding this `(pt, entry)` (in-place refresh of a stale block), an
+    /// empty way, or the least-recently-used way of the set.
+    pub fn insert(&mut self, block: Block) -> usize {
+        let base = Self::set_of(block.pt, block.entry) * WAYS;
+        let ways = base..base + WAYS;
+        let idx = ways
+            .clone()
+            .find(|&i| {
+                self.slots[i]
+                    .block
+                    .as_ref()
+                    .is_some_and(|b| b.pt == block.pt && b.entry == block.entry)
+            })
+            .or_else(|| ways.clone().find(|&i| self.slots[i].block.is_none()))
+            .unwrap_or_else(|| {
+                ways.min_by_key(|&i| self.slots[i].last).expect("set has at least one way")
+            });
+        if let Some(old) = &self.slots[idx].block {
             self.stats.evicts += 1;
+            if old.pt != block.pt || old.entry != block.entry {
+                self.stats.evict_conflicts += 1;
+            }
         }
         self.seq += 1;
+        self.tick += 1;
         self.stats.fills += 1;
-        let arc = Arc::new(block);
-        *slot = Slot { block: Some(Arc::clone(&arc)), seq: self.seq, hints: [None; 2] };
-        (idx, arc)
+        self.slots[idx] = Slot {
+            block: Some(Arc::new(block)),
+            seq: self.seq,
+            hints: [None; 2],
+            last: self.tick,
+            cross: None,
+        };
+        idx
     }
 
     /// Follows the chain hint `edge` (0 = jump/taken, 1 = fall-through) of
     /// `from_slot`, revalidating the target block against the current
-    /// invalidation counters. Returns the target slot and block on success.
+    /// invalidation counters. Returns the target slot on success.
     #[inline]
     pub fn follow_hint(
         &mut self,
@@ -422,7 +595,7 @@ impl BlockCache {
         pt: PageTableId,
         table_gen: u64,
         code_epoch: u64,
-    ) -> Option<(usize, Arc<Block>)> {
+    ) -> Option<usize> {
         let h = self.slots[from_slot].hints[edge]?;
         if h.pc != pc || self.slots[h.slot].seq != h.seq {
             return None;
@@ -431,7 +604,9 @@ impl BlockCache {
         if Self::valid(b, pt, pc, table_gen, code_epoch) {
             self.stats.chains += 1;
             self.stats.hits += 1;
-            Some((h.slot, Arc::clone(b)))
+            self.tick += 1;
+            self.slots[h.slot].last = self.tick;
+            Some(h.slot)
         } else {
             None
         }
@@ -449,6 +624,30 @@ impl BlockCache {
     #[inline]
     pub fn note_bail(&mut self) {
         self.stats.bails += 1;
+    }
+
+    /// The crossing descriptor cached on `slot`, if any.
+    #[inline]
+    pub fn cross_desc(&self, slot: usize) -> Option<CrossDesc> {
+        self.slots[slot].cross
+    }
+
+    /// Installs (or replaces) the crossing descriptor on `slot`.
+    #[inline]
+    pub fn set_cross_desc(&mut self, slot: usize, desc: CrossDesc) {
+        self.slots[slot].cross = Some(desc);
+    }
+
+    /// Records a crossing served by a valid descriptor.
+    #[inline]
+    pub fn note_cross_hit(&mut self) {
+        self.stats.cross_hits += 1;
+    }
+
+    /// Records a crossing that ran the full check.
+    #[inline]
+    pub fn note_cross_miss(&mut self) {
+        self.stats.cross_misses += 1;
     }
 
     /// Host-side counters.
@@ -569,7 +768,7 @@ mod tests {
         let mut cache = BlockCache::new();
         assert!(cache.lookup(PT, 0x1000, 5, 7).is_none());
         let b = form_block(PT, 0x1000, 5, 7, pte(), &page, &cost);
-        let (slot, _) = cache.insert(b);
+        let slot = cache.insert(b);
         assert!(cache.lookup(PT, 0x1000, 5, 7).is_some());
         assert!(cache.lookup(PT, 0x1000, 6, 7).is_none(), "stale generation");
         assert!(cache.lookup(PT, 0x1000, 5, 8).is_none(), "stale epoch");
@@ -581,10 +780,91 @@ mod tests {
         let b2 = form_block(PT, 0x1000, 5, 8, pte(), &page, &cost);
         cache.set_hint(slot, 0, 0x1000, slot);
         let seq_hint = cache.slots[slot].hints[0].unwrap().seq;
-        let (slot2, _) = cache.insert(b2);
+        let slot2 = cache.insert(b2);
         assert_eq!(slot, slot2);
         assert!(cache.slots[slot].seq > seq_hint);
         let s = cache.stats();
         assert!(s.fills == 2 && s.evicts == 1 && s.chains == 1);
+        assert_eq!(s.evict_conflicts, 0, "same-entry refresh is not a conflict");
+    }
+
+    /// Mirrors the private `BlockCache::set_of` so tests can construct
+    /// same-set conflict groups.
+    fn set_of(entry: u64) -> usize {
+        let k = (entry / INSTR_BYTES).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((k >> 56) as usize) & (SETS - 1)
+    }
+
+    #[test]
+    fn two_ways_hold_a_conflicting_pair_and_lru_picks_the_victim() {
+        let cost = CostModel::default();
+        let page = page_of(&[Instr::Nop, Instr::Halt]);
+        // Three distinct page-start entries that land in the same set.
+        let e0 = 0x1000u64;
+        let mut same_set =
+            (1u64..).map(|n| e0 + n * PAGE_SIZE).filter(|&e| set_of(e) == set_of(e0));
+        let e1 = same_set.next().unwrap();
+        let e2 = same_set.next().unwrap();
+        let mut cache = BlockCache::new();
+        cache.insert(form_block(PT, e0, 0, 0, pte(), &page, &cost));
+        cache.insert(form_block(PT, e1, 0, 0, pte(), &page, &cost));
+        // Both ways live: the direct-mapped design would have evicted e0.
+        assert!(cache.lookup(PT, e0, 0, 0).is_some());
+        assert!(cache.lookup(PT, e1, 0, 0).is_some());
+        assert_eq!(cache.stats().evicts, 0);
+        // Make e0 the MRU way, then overflow the set: the LRU way (e1)
+        // must be the victim, and the displacement is a genuine conflict.
+        assert!(cache.lookup(PT, e0, 0, 0).is_some());
+        cache.insert(form_block(PT, e2, 0, 0, pte(), &page, &cost));
+        assert!(cache.lookup(PT, e0, 0, 0).is_some(), "MRU way survives");
+        assert!(cache.lookup(PT, e2, 0, 0).is_some());
+        assert!(cache.lookup(PT, e1, 0, 0).is_none(), "LRU way was evicted");
+        let s = cache.stats();
+        assert_eq!(s.evicts, 1);
+        assert_eq!(s.evict_conflicts, 1);
+    }
+
+    #[test]
+    fn crossing_descriptor_rides_the_way_and_dies_with_it() {
+        let cost = CostModel::default();
+        let page = page_of(&[Instr::Nop, Instr::Halt]);
+        let mut cache = BlockCache::new();
+        let slot = cache.insert(form_block(PT, 0x1000, 0, 0, pte(), &page, &cost));
+        assert!(cache.cross_desc(slot).is_none());
+        cache.set_cross_desc(
+            slot,
+            CrossDesc {
+                from: DomainTag(1),
+                to: DomainTag(2),
+                apl_version: 7,
+                probe: CrossProbe::Hit(HwTag(3)),
+                grant: CrossGrant::Apl,
+            },
+        );
+        let d = cache.cross_desc(slot).expect("descriptor stored");
+        assert_eq!(d.from, DomainTag(1));
+        assert_eq!(d.apl_version, 7);
+        assert_eq!(d.probe, CrossProbe::Hit(HwTag(3)));
+        // Refilling the way clears the descriptor.
+        let slot2 = cache.insert(form_block(PT, 0x1000, 1, 0, pte(), &page, &cost));
+        assert_eq!(slot, slot2);
+        assert!(cache.cross_desc(slot).is_none());
+    }
+
+    #[test]
+    fn pure_prefix_covers_alu_and_stops_at_impure() {
+        let cost = CostModel::default();
+        let page = page_of(&[
+            Instr::Addi { rd: 5, rs1: 5, imm: 1 },
+            Instr::Xor { rd: 6, rs1: 5, rs2: 5 },
+            Instr::Ld { rd: 7, rs1: 2, imm: 0 },
+            Instr::Halt,
+        ]);
+        let b = form_block(PT, 0x1000, 0, 0, pte(), &page, &cost);
+        assert_eq!(b.instrs.len(), 4);
+        assert_eq!(b.pure_len, 2, "Addi and Xor are pure; Ld is not");
+        assert!(b.instrs[0].handler != 0 && b.instrs[1].handler != 0);
+        assert_eq!(b.instrs[2].handler, 0);
+        assert_eq!(b.instrs[3].handler, 0, "Halt never retires through a handler");
     }
 }

@@ -13,16 +13,17 @@
 //! refilling the software-managed cache and resuming, §4.1).
 
 use codoms::cap::{CapKind, Capability, RevocationTable, CAPABILITY_BYTES, CAP_REGS};
-use codoms::check::{CheckError, Checker};
+use codoms::check::{AccessDecision, CheckError, Checker};
 use codoms::dcs::{Dcs, DcsError};
 use codoms::{AplCache, Perm};
 use simmem::page::{page_align_down, page_offset, vpn, Access};
 use simmem::{Bus, DomainTag, MemFault, Memory, PageFlags, PageTableId, Pte, Tlb, PAGE_SIZE};
 
-use std::sync::Arc;
-
-use crate::blocks::{form_block, Block, BlockCache, BlockEnd, BlockStats};
+use crate::blocks::{
+    form_block, BlockCache, BlockEnd, BlockStats, CrossDesc, CrossGrant, CrossProbe,
+};
 use crate::cost::CostModel;
+use crate::dcache::{DCache, DGrant};
 use crate::icache::InstrCache;
 use crate::isa::{reg, Instr, INSTR_BYTES};
 use crate::stats::{ExecStats, HostCacheStats};
@@ -158,9 +159,36 @@ pub struct Cpu {
     blocks: bool,
     /// Superblock cache (host fast path; see [`crate::blocks`]).
     bcache: BlockCache,
+    /// Whether block-edge crossing descriptors and the memory-operand
+    /// translation cache are in use (sampled from
+    /// [`simmem::xblocks_enabled`] at construction).
+    xblocks: bool,
+    /// Whether the direct-threaded pure-prefix dispatcher is in use
+    /// (sampled from [`simmem::threaded_enabled`] at construction).
+    threaded: bool,
+    /// Per-CPU memory-operand translation cache (see [`crate::dcache`]).
+    dcache: DCache,
     /// Cache-counter snapshot at the last simtrace export, so each
     /// [`Cpu::run`] emits deltas.
     reported: HostCacheStats,
+}
+
+/// One dcache decision held in a register by the block execution loop: a
+/// straight copy of the [`crate::dcache`] entry that served (or was
+/// filled by) the most recent 8-byte load/store. Valid only within one
+/// block run, where every dcache context guard — table generation,
+/// current domain, kernel mode, APL version, active page table — is
+/// provably invariant (their mutators are all block terminators, traps
+/// or crossing edges), so a `vpn` + direction-bit compare is the whole
+/// residual check. A served access replays exactly what a dcache hit
+/// replays (see [`Cpu::dmemo_replay`]).
+#[derive(Clone, Copy)]
+struct DMemo {
+    vpn: u64,
+    pte: Pte,
+    grant: DGrant,
+    read_ok: bool,
+    write_ok: bool,
 }
 
 /// How one block execution ended (see `Cpu::exec_block`).
@@ -204,6 +232,9 @@ impl Cpu {
             icache: InstrCache::new(),
             blocks: simmem::blocks_enabled(),
             bcache: BlockCache::new(),
+            xblocks: simmem::xblocks_enabled(),
+            threaded: simmem::threaded_enabled(),
+            dcache: DCache::new(),
             reported: HostCacheStats::default(),
         }
     }
@@ -227,10 +258,12 @@ impl Cpu {
         self.bcache.stats()
     }
 
-    /// The full host-side cache counter set (icache + block cache).
+    /// The full host-side cache counter set (icache + block cache +
+    /// crossing descriptors + data-operand translation cache).
     pub fn host_cache_stats(&self) -> HostCacheStats {
         let (icache_hits, icache_misses, icache_fills, icache_evicts) = self.icache.full_stats();
         let b = self.bcache.stats();
+        let (dcache_hits, dcache_misses) = self.dcache.stats();
         HostCacheStats {
             icache_hits,
             icache_misses,
@@ -240,8 +273,13 @@ impl Cpu {
             block_misses: b.misses,
             block_fills: b.fills,
             block_evicts: b.evicts,
+            block_evict_conflicts: b.evict_conflicts,
             block_chains: b.chains,
             block_bails: b.bails,
+            cross_hits: b.cross_hits,
+            cross_misses: b.cross_misses,
+            dcache_hits,
+            dcache_misses,
         }
     }
 
@@ -264,8 +302,13 @@ impl Cpu {
                 ("host.block_misses", d.block_misses),
                 ("host.block_fills", d.block_fills),
                 ("host.block_evicts", d.block_evicts),
+                ("host.block_evict_conflict", d.block_evict_conflicts),
                 ("host.block_chains", d.block_chains),
                 ("host.block_bails", d.block_bails),
+                ("host.cross_hits", d.cross_hits),
+                ("host.cross_misses", d.cross_misses),
+                ("host.dcache_hits", d.dcache_hits),
+                ("host.dcache_misses", d.dcache_misses),
             ] {
                 if v > 0 {
                     simtrace::counter(name, v);
@@ -348,9 +391,28 @@ impl Cpu {
         cost: &CostModel,
         deadline: u64,
     ) -> RunExit {
+        // Detach the block cache from the CPU for the whole dispatch run:
+        // blocks are then borrowed *in place* from the detached cache while
+        // `self` stays mutably borrowable, instead of cloning an `Arc`
+        // handle per dispatched block (atomic refcount traffic dominated
+        // short-block workloads like cross-domain ping-pong).
+        let mut bcache = std::mem::replace(&mut self.bcache, BlockCache::hollow());
+        let exit = self.run_blocks_detached(&mut bcache, mem, rev, cost, deadline);
+        self.bcache = bcache;
+        exit
+    }
+
+    fn run_blocks_detached<M: Bus>(
+        &mut self,
+        bcache: &mut BlockCache,
+        mem: &mut M,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        deadline: u64,
+    ) -> RunExit {
         let mut retired = 0u64;
         'dispatch: while self.cycles < deadline {
-            let Some((mut slot, mut block)) = self.lookup_or_form(mem, cost) else {
+            let Some(mut slot) = self.lookup_or_form(bcache, mem, cost) else {
                 // Unblockable PC (misaligned, or unmapped — the interpreter
                 // raises the exact fault).
                 match self.step(mem, rev, cost) {
@@ -365,8 +427,11 @@ impl Cpu {
                 if self.cycles >= deadline {
                     return RunExit { event: StepEvent::Retired, retired, deadline: true };
                 }
-                if block.instrs.is_empty() || self.cycles.saturating_add(block.max_cost) >= deadline
-                {
+                let (step_only, max_cost) = {
+                    let b = bcache.block_at(slot);
+                    (b.instrs.is_empty(), b.max_cost)
+                };
+                if step_only || self.cycles.saturating_add(max_cost) >= deadline {
                     // Step-only entry, or the block's worst case might
                     // cross the deadline: interpret one instruction (the
                     // interpreter re-checks the deadline per step).
@@ -376,22 +441,19 @@ impl Cpu {
                     }
                     continue 'dispatch;
                 }
-                match self.exec_block(&block, mem, rev, cost, &mut retired) {
+                match self.exec_block(bcache, slot, mem, rev, cost, &mut retired) {
                     BlockOutcome::Event(ev) => {
                         return RunExit { event: ev, retired, deadline: false }
                     }
                     BlockOutcome::Bailed => {
-                        self.bcache.note_bail();
+                        bcache.note_bail();
                         continue 'dispatch;
                     }
                     BlockOutcome::Done => {}
                 }
                 // Chain across the static edge when the successor is known.
-                match self.next_chained(slot, &block, mem, cost) {
-                    Some((s, b)) => {
-                        slot = s;
-                        block = b;
-                    }
+                match self.next_chained(bcache, slot, mem, cost) {
+                    Some(s) => slot = s,
                     None => continue 'dispatch,
                 }
             }
@@ -405,9 +467,10 @@ impl Cpu {
     /// bump the epoch) on miss. `None` when no block can exist at this PC.
     fn lookup_or_form<M: Bus>(
         &mut self,
+        bcache: &mut BlockCache,
         mem: &mut M,
         cost: &CostModel,
-    ) -> Option<(usize, Arc<Block>)> {
+    ) -> Option<usize> {
         let pc = self.pc;
         if !page_offset(pc).is_multiple_of(INSTR_BYTES) {
             return None;
@@ -415,14 +478,14 @@ impl Cpu {
         let pt = self.active_pt;
         let table_gen = mem.table_generation(pt);
         let code_epoch = mem.code_epoch();
-        if let Some(found) = self.bcache.lookup(pt, pc, table_gen, code_epoch) {
+        if let Some(found) = bcache.lookup(pt, pc, table_gen, code_epoch) {
             return Some(found);
         }
         let pte = mem.translate(pt, pc, Access::Exec).ok()?;
         let block =
             form_block(pt, pc, table_gen, code_epoch, pte, mem.frame_bytes(pte.frame), cost);
         mem.mark_code(pte.frame);
-        Some(self.bcache.insert(block))
+        Some(bcache.insert(block))
     }
 
     /// Follows `block`'s successor edge to the block at the new PC,
@@ -433,13 +496,13 @@ impl Cpu {
     /// the target against the current generation and epoch.
     fn next_chained<M: Bus>(
         &mut self,
+        bcache: &mut BlockCache,
         slot: usize,
-        block: &Block,
         mem: &mut M,
         cost: &CostModel,
-    ) -> Option<(usize, Arc<Block>)> {
+    ) -> Option<usize> {
         let pc = self.pc;
-        let edge = match block.end {
+        let edge = match bcache.block_at(slot).end {
             BlockEnd::Jump { target } if target == pc => 0,
             BlockEnd::Branch { taken, .. } if taken == pc => 0,
             BlockEnd::Branch { fall, .. } if fall == pc => 1,
@@ -453,12 +516,12 @@ impl Cpu {
         let pt = self.active_pt;
         let table_gen = mem.table_generation(pt);
         let code_epoch = mem.code_epoch();
-        if let Some(found) = self.bcache.follow_hint(slot, edge, pc, pt, table_gen, code_epoch) {
+        if let Some(found) = bcache.follow_hint(slot, edge, pc, pt, table_gen, code_epoch) {
             return Some(found);
         }
-        let (to_slot, b) = self.lookup_or_form(mem, cost)?;
-        self.bcache.set_hint(slot, edge, pc, to_slot);
-        Some((to_slot, b))
+        let to_slot = self.lookup_or_form(bcache, mem, cost)?;
+        bcache.set_hint(slot, edge, pc, to_slot);
+        Some(to_slot)
     }
 
     /// Performs the per-entry validation the interpreter does per fetch —
@@ -468,52 +531,122 @@ impl Cpu {
     /// injection, `ExecStats`, x0 hard-wiring) matches [`Cpu::step`]
     /// exactly; the batched iTLB hits for the non-entry fetches are
     /// settled through [`simmem::Tlb::note_hits`] on every exit path.
+    ///
+    /// A crossing into another domain first consults the crossing
+    /// descriptor riding `slot`'s cache way: a previous execution of this
+    /// edge recorded its validated decision, pinned to everything it
+    /// depended on (source and target domains, the APL content version,
+    /// and — for capability grants — the exact granting capability still
+    /// being present and unrevoked). While those hold, the decision is
+    /// replayed (including the one APL-cache probe the full check would
+    /// have made) instead of re-derived; any mismatch falls back to the
+    /// full [`codoms::check::Checker::check_jump`], which re-installs the
+    /// descriptor on success. Disabled by `CDVM_NO_XBLOCKS=1`.
     fn exec_block<M: Bus>(
         &mut self,
-        block: &Block,
+        bcache: &mut BlockCache,
+        slot: usize,
         mem: &mut M,
         rev: &mut RevocationTable,
         cost: &CostModel,
         retired: &mut u64,
     ) -> BlockOutcome {
         let pc = self.pc;
-        debug_assert_eq!(pc, block.entry);
+        let pte = bcache.block_at(slot).pte;
+        debug_assert_eq!(pc, bcache.block_at(slot).entry);
         if !self.itlb.access(self.active_pt, pc) {
             self.cycles += cost.tlb_miss;
         }
-        let pte = block.pte;
         if !self.kernel_mode && pte.tag != self.cur_dom {
-            match self.checker.check_jump(
-                self.cur_dom,
-                &pte,
-                pc,
-                &mut self.apl_cache,
-                &self.caps,
-                rev,
-                self.thread,
-            ) {
-                Ok(_) => {
-                    self.cur_dom = pte.tag;
-                    self.domain_crossings += 1;
-                    if self.instrument {
-                        simtrace::counter("apl_hit", 1);
-                        simtrace::domain_crossing(self.index, pc, self.cycles);
+            let cached = self.xblocks
+                && match bcache.cross_desc(slot) {
+                    Some(d)
+                        if d.from == self.cur_dom
+                            && d.to == pte.tag
+                            && d.apl_version == self.apl_cache.version()
+                            && match d.grant {
+                                CrossGrant::Apl => true,
+                                CrossGrant::Cap { idx, cap } => {
+                                    self.caps[idx as usize] == Some(cap)
+                                        && rev.is_valid(&cap, self.thread)
+                                }
+                            } =>
+                    {
+                        match d.probe {
+                            CrossProbe::Hit(hw) => self.apl_cache.touch(hw),
+                            CrossProbe::Miss => self.apl_cache.note_miss(),
+                        }
+                        bcache.note_cross_hit();
+                        true
                     }
-                    if self.chaos && simfault::should(simfault::Site::Revoke, self.cycles) {
-                        rev.revoke_all(self.thread);
+                    _ => false,
+                };
+            if !cached {
+                if self.xblocks {
+                    bcache.note_cross_miss();
+                }
+                match self.checker.check_jump(
+                    self.cur_dom,
+                    &pte,
+                    pc,
+                    &mut self.apl_cache,
+                    &self.caps,
+                    rev,
+                    self.thread,
+                ) {
+                    Ok(decision) => {
+                        if self.xblocks {
+                            self.install_cross_desc(bcache, slot, pte.tag, decision);
+                        }
                     }
+                    Err(CheckError::AplMiss { tag }) => {
+                        return BlockOutcome::Event(StepEvent::AplMiss(tag))
+                    }
+                    Err(e) => return BlockOutcome::Event(self.fault(FaultKind::Codoms(e))),
                 }
-                Err(CheckError::AplMiss { tag }) => {
-                    return BlockOutcome::Event(StepEvent::AplMiss(tag))
-                }
-                Err(e) => return BlockOutcome::Event(self.fault(FaultKind::Codoms(e))),
+            }
+            self.cur_dom = pte.tag;
+            self.domain_crossings += 1;
+            if self.instrument {
+                simtrace::counter("apl_hit", 1);
+                simtrace::domain_crossing(self.index, pc, self.cycles);
+            }
+            if self.chaos && simfault::should(simfault::Site::Revoke, self.cycles) {
+                rev.revoke_all(self.thread);
             }
         } else if self.kernel_mode {
             self.cur_dom = pte.tag;
         }
         self.cur_page_flags = pte.flags;
 
-        for (k, bi) in block.instrs.iter().enumerate() {
+        // The crossing phase above is done mutating the cache; borrow the
+        // block body in place for the execution loops (disjoint from
+        // `self`, so no handle clone is needed).
+        let block = bcache.block_at(slot);
+
+        let mut start = 0;
+        if self.threaded && !self.instrument && block.pure_len > 0 {
+            // Direct-threaded dispatch of the pure prefix: every
+            // instruction in it provably retires with no event, no memory
+            // access and no privilege check (see [`crate::threaded`]), so
+            // the general loop's per-instruction plumbing is dead weight.
+            // The handlers keep x0 zeroed; zero it once up front so they
+            // start from the same state the general loop maintains.
+            self.regs[0] = 0;
+            for bi in &block.instrs[..block.pure_len] {
+                crate::threaded::HANDLERS[bi.handler as usize](self, bi, cost);
+            }
+            self.retired += block.pure_len as u64;
+            *retired += block.pure_len as u64;
+            start = block.pure_len;
+        }
+
+        // One-entry operand memo: the last dcache decision this block run
+        // produced, kept in a register so repeated accesses to the same
+        // page skip even the dcache probe. Scoped to this one block run —
+        // it never survives a block edge (where the domain can change).
+        let mut dmemo: Option<DMemo> = None;
+        for (k, bi) in block.instrs.iter().enumerate().skip(start) {
             if bi.privileged
                 && !self.kernel_mode
                 && !self.cur_page_flags.contains(PageFlags::PRIV_CAP)
@@ -521,7 +654,49 @@ impl Cpu {
                 self.itlb.note_hits(block.pt, block.entry, k as u64);
                 return BlockOutcome::Event(self.fault(FaultKind::Privilege));
             }
-            let ev = self.execute(bi.instr, mem, rev, cost);
+            // Pure instructions that sit *after* the first impure one (so
+            // the prefix loop above could not reach them) still carry
+            // their handler index: dispatch them through the same table
+            // and skip the full `execute()` match. They provably retire
+            // with no event, no memory write and no instrumentation to
+            // record, so the rest of this iteration's plumbing is dead.
+            if self.threaded && !self.instrument && bi.handler != 0 {
+                crate::threaded::HANDLERS[bi.handler as usize](self, bi, cost);
+                self.retired += 1;
+                *retired += 1;
+                continue;
+            }
+            // Loads and stores dominate real block bodies; dispatch them
+            // straight to the shared op bodies (identical to the
+            // `execute()` arms — they *are* the arms) without paying the
+            // full-ISA match and its stack frame. The one-entry operand
+            // memo is sound because every dcache guard (table generation,
+            // domain, mode, APL version) is invariant between a block's
+            // instructions: all of their mutators are terminators, traps
+            // or crossing edges, which end the block.
+            let ev = match bi.instr {
+                Instr::Ld { rd, rs1, imm } => {
+                    self.cycles += cost.base;
+                    match self.op_ld::<M, true>(mem, rev, cost, rd, rs1, imm, &mut dmemo) {
+                        Ok(()) => {
+                            self.pc = self.pc.wrapping_add(INSTR_BYTES);
+                            StepEvent::Retired
+                        }
+                        Err(ev) => ev,
+                    }
+                }
+                Instr::St { rs1, rs2, imm } => {
+                    self.cycles += cost.base;
+                    match self.op_st::<M, true>(mem, rev, cost, rs1, rs2, imm, &mut dmemo) {
+                        Ok(()) => {
+                            self.pc = self.pc.wrapping_add(INSTR_BYTES);
+                            StepEvent::Retired
+                        }
+                        Err(ev) => ev,
+                    }
+                }
+                _ => self.execute(bi.instr, mem, rev, cost),
+            };
             match ev {
                 StepEvent::Retired => {
                     self.retired += 1;
@@ -557,6 +732,42 @@ impl Cpu {
         }
         self.itlb.note_hits(block.pt, block.entry, (block.instrs.len() - 1) as u64);
         BlockOutcome::Done
+    }
+
+    /// Builds the crossing descriptor for a just-passed full check on
+    /// `slot`'s block edge and installs it on the cache way. `SelfDomain`
+    /// cannot reach here (the caller only checks when the tags differ)
+    /// and a capability decision whose register was cleared in the same
+    /// instant is unreachable too; both degrade to "don't cache".
+    fn install_cross_desc(
+        &mut self,
+        bcache: &mut BlockCache,
+        slot: usize,
+        to: DomainTag,
+        decision: AccessDecision,
+    ) {
+        let grant = match decision {
+            AccessDecision::Apl(_) => Some(CrossGrant::Apl),
+            AccessDecision::Cap(i) => self.caps[i].map(|cap| CrossGrant::Cap { idx: i as u8, cap }),
+            AccessDecision::SelfDomain => None,
+        };
+        let Some(grant) = grant else { return };
+        // The full check just ran, so whether the source domain's APL sits
+        // in the cache right now is exactly whether its lookup hit.
+        let probe = match self.apl_cache.hw_tag(self.cur_dom) {
+            Some(hw) => CrossProbe::Hit(hw),
+            None => CrossProbe::Miss,
+        };
+        bcache.set_cross_desc(
+            slot,
+            CrossDesc {
+                from: self.cur_dom,
+                to,
+                apl_version: self.apl_cache.version(),
+                probe,
+                grant,
+            },
+        );
     }
 
     /// Executes a single instruction.
@@ -717,7 +928,7 @@ impl Cpu {
         mem.mark_code(pte.frame);
     }
 
-    fn execute<M: Bus>(
+    pub(crate) fn execute<M: Bus>(
         &mut self,
         instr: Instr,
         mem: &mut M,
@@ -771,13 +982,8 @@ impl Cpu {
             Srli { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) >> (imm as u32 & 63)),
 
             Ld { rd, rs1, imm } => {
-                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
-                match self.data_access(mem, rev, cost, addr, 8, false) {
-                    Ok(()) => {
-                        let v = mem.kread_u64(self.active_pt, addr).expect("checked");
-                        self.set_reg(rd, v);
-                    }
-                    Err(ev) => return ev,
+                if let Err(ev) = self.op_ld::<M, false>(mem, rev, cost, rd, rs1, imm, &mut None) {
+                    return ev;
                 }
             }
             Amoadd { rd, rs1, rs2 } => {
@@ -785,41 +991,64 @@ impl Cpu {
                 // authorises the read (Write ≥ Read in the APL lattice).
                 self.cycles += cost.amo - cost.base;
                 let addr = self.reg(rs1);
-                match self.data_access(mem, rev, cost, addr, 8, true) {
-                    Ok(()) => {
-                        let old = mem.kread_u64(self.active_pt, addr).expect("checked");
-                        mem.kwrite_u64(self.active_pt, addr, old.wrapping_add(self.reg(rs2)))
-                            .expect("checked");
+                match self.dcache_hit(mem, cost, addr, 8, true) {
+                    Some((pte, ..)) => {
+                        let off = page_offset(addr);
+                        let old = mem.frame_read_u64(pte.frame, off);
+                        mem.frame_write_u64(pte.frame, off, old.wrapping_add(self.reg(rs2)));
                         self.set_reg(rd, old);
                     }
-                    Err(ev) => return ev,
+                    None => match self.data_access(mem, rev, cost, addr, 8, true) {
+                        Ok(()) => {
+                            self.dcache_fill(mem, addr, 8);
+                            let old = mem.kread_u64(self.active_pt, addr).expect("checked");
+                            mem.kwrite_u64(self.active_pt, addr, old.wrapping_add(self.reg(rs2)))
+                                .expect("checked");
+                            self.set_reg(rd, old);
+                        }
+                        Err(ev) => return ev,
+                    },
                 }
             }
             St { rs1, rs2, imm } => {
-                let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
-                match self.data_access(mem, rev, cost, addr, 8, true) {
-                    Ok(()) => mem.kwrite_u64(self.active_pt, addr, self.reg(rs2)).expect("checked"),
-                    Err(ev) => return ev,
+                if let Err(ev) = self.op_st::<M, false>(mem, rev, cost, rs1, rs2, imm, &mut None) {
+                    return ev;
                 }
             }
             Ldb { rd, rs1, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
-                match self.data_access(mem, rev, cost, addr, 1, false) {
-                    Ok(()) => {
-                        let mut b = [0u8; 1];
-                        mem.kread(self.active_pt, addr, &mut b).expect("checked");
-                        self.set_reg(rd, b[0] as u64);
+                match self.dcache_hit(mem, cost, addr, 1, false) {
+                    Some((pte, ..)) => {
+                        let b = mem.frame_read_byte(pte.frame, page_offset(addr));
+                        self.set_reg(rd, b as u64);
                     }
-                    Err(ev) => return ev,
+                    None => match self.data_access(mem, rev, cost, addr, 1, false) {
+                        Ok(()) => {
+                            self.dcache_fill(mem, addr, 1);
+                            let mut b = [0u8; 1];
+                            mem.kread(self.active_pt, addr, &mut b).expect("checked");
+                            self.set_reg(rd, b[0] as u64);
+                        }
+                        Err(ev) => return ev,
+                    },
                 }
             }
             Stb { rs1, rs2, imm } => {
                 let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
-                match self.data_access(mem, rev, cost, addr, 1, true) {
-                    Ok(()) => mem
-                        .kwrite(self.active_pt, addr, &[(self.reg(rs2) & 0xff) as u8])
-                        .expect("checked"),
-                    Err(ev) => return ev,
+                match self.dcache_hit(mem, cost, addr, 1, true) {
+                    Some((pte, ..)) => mem.frame_write_byte(
+                        pte.frame,
+                        page_offset(addr),
+                        (self.reg(rs2) & 0xff) as u8,
+                    ),
+                    None => match self.data_access(mem, rev, cost, addr, 1, true) {
+                        Ok(()) => {
+                            self.dcache_fill(mem, addr, 1);
+                            mem.kwrite(self.active_pt, addr, &[(self.reg(rs2) & 0xff) as u8])
+                                .expect("checked")
+                        }
+                        Err(ev) => return ev,
+                    },
                 }
             }
             MemCpy { rd, rs1, rs2 } => {
@@ -1099,6 +1328,216 @@ impl Cpu {
         }
         self.pc = next_pc;
         StepEvent::Retired
+    }
+
+    /// The `Ld` operation body, shared between [`Cpu::execute`]'s arm and
+    /// the block loop's direct dispatch. The caller has already charged
+    /// `cost.base`; the PC is untouched (advanced by the caller only on
+    /// `Ok`), so an error return leaves the CPU exactly at the faulting
+    /// instruction.
+    ///
+    /// With `MEMO`, consults and maintains the block loop's one-entry
+    /// operand memo (see [`DMemo`]); `execute()` passes `MEMO = false`
+    /// and the memo plumbing compiles out.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn op_ld<M: Bus, const MEMO: bool>(
+        &mut self,
+        mem: &mut M,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+        memo: &mut Option<DMemo>,
+    ) -> Result<(), StepEvent> {
+        let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+        if MEMO {
+            if let Some(m) = memo {
+                if m.vpn == vpn(addr) && m.read_ok && page_offset(addr) <= PAGE_SIZE - 8 {
+                    self.dmemo_replay(cost, addr, m.grant);
+                    let v = mem.frame_read_u64(m.pte.frame, page_offset(addr));
+                    self.set_reg(rd, v);
+                    return Ok(());
+                }
+            }
+        }
+        match self.dcache_hit(mem, cost, addr, 8, false) {
+            Some((pte, grant, read_ok, write_ok)) => {
+                if MEMO {
+                    *memo = Some(DMemo { vpn: vpn(addr), pte, grant, read_ok, write_ok });
+                }
+                let v = mem.frame_read_u64(pte.frame, page_offset(addr));
+                self.set_reg(rd, v);
+            }
+            None => match self.data_access(mem, rev, cost, addr, 8, false) {
+                Ok(()) => {
+                    let filled = self.dcache_fill(mem, addr, 8);
+                    if MEMO {
+                        if let Some((pte, grant, read_ok, write_ok)) = filled {
+                            *memo = Some(DMemo { vpn: vpn(addr), pte, grant, read_ok, write_ok });
+                        }
+                    }
+                    let v = mem.kread_u64(self.active_pt, addr).expect("checked");
+                    self.set_reg(rd, v);
+                }
+                Err(ev) => return Err(ev),
+            },
+        }
+        Ok(())
+    }
+
+    /// The `St` operation body; see [`Cpu::op_ld`] for the contract.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn op_st<M: Bus, const MEMO: bool>(
+        &mut self,
+        mem: &mut M,
+        rev: &mut RevocationTable,
+        cost: &CostModel,
+        rs1: u8,
+        rs2: u8,
+        imm: i32,
+        memo: &mut Option<DMemo>,
+    ) -> Result<(), StepEvent> {
+        let addr = self.reg(rs1).wrapping_add(imm as i64 as u64);
+        if MEMO {
+            if let Some(m) = memo {
+                if m.vpn == vpn(addr) && m.write_ok && page_offset(addr) <= PAGE_SIZE - 8 {
+                    self.dmemo_replay(cost, addr, m.grant);
+                    mem.frame_write_u64(m.pte.frame, page_offset(addr), self.reg(rs2));
+                    return Ok(());
+                }
+            }
+        }
+        match self.dcache_hit(mem, cost, addr, 8, true) {
+            Some((pte, grant, read_ok, write_ok)) => {
+                if MEMO {
+                    *memo = Some(DMemo { vpn: vpn(addr), pte, grant, read_ok, write_ok });
+                }
+                mem.frame_write_u64(pte.frame, page_offset(addr), self.reg(rs2))
+            }
+            None => match self.data_access(mem, rev, cost, addr, 8, true) {
+                Ok(()) => {
+                    let filled = self.dcache_fill(mem, addr, 8);
+                    if MEMO {
+                        if let Some((pte, grant, read_ok, write_ok)) = filled {
+                            *memo = Some(DMemo { vpn: vpn(addr), pte, grant, read_ok, write_ok });
+                        }
+                    }
+                    mem.kwrite_u64(self.active_pt, addr, self.reg(rs2)).expect("checked")
+                }
+                Err(ev) => return Err(ev),
+            },
+        }
+        Ok(())
+    }
+
+    /// Replays the simulated side of a memo-served access — exactly what
+    /// [`Cpu::dcache_hit`] charges and probes on a hit: the `cost.mem`
+    /// charge, the real dTLB access, and the APL-cache touch for
+    /// APL-granted entries. Counted as a dcache hit (the memo is a
+    /// register-resident copy of a dcache decision).
+    #[inline]
+    fn dmemo_replay(&mut self, cost: &CostModel, addr: u64, grant: DGrant) {
+        self.cycles += cost.mem;
+        if !self.dtlb.access(self.active_pt, addr) {
+            self.cycles += cost.tlb_miss;
+        }
+        if let DGrant::Apl(hw) = grant {
+            self.apl_cache.touch(hw);
+        }
+        self.dcache.note_hit();
+    }
+
+    /// Attempts to serve a single-page data access from the memory-operand
+    /// translation cache (see [`crate::dcache`]). On a hit, charges the
+    /// same cycles the full path would (`cost.mem` plus the real dTLB
+    /// access), replays the one APL-cache probe for APL-granted entries,
+    /// and returns the cached translation so the caller can move the
+    /// bytes frame-direct. `None` when the access must take the full
+    /// [`Cpu::data_access`] walk (straddle, cold, or any guard mismatch).
+    #[inline]
+    fn dcache_hit<M: Bus>(
+        &mut self,
+        mem: &M,
+        cost: &CostModel,
+        addr: u64,
+        size: u64,
+        write: bool,
+    ) -> Option<(Pte, DGrant, bool, bool)> {
+        if !self.xblocks || page_offset(addr) > PAGE_SIZE - size {
+            return None;
+        }
+        let pt = self.active_pt;
+        let (pte, grant, read_ok, write_ok) = self.dcache.lookup(
+            pt,
+            vpn(addr),
+            mem.table_generation(pt),
+            self.cur_dom,
+            self.kernel_mode,
+            self.apl_cache.version(),
+            write,
+        )?;
+        self.cycles += cost.mem;
+        if !self.dtlb.access(pt, addr) {
+            self.cycles += cost.tlb_miss;
+        }
+        if let DGrant::Apl(hw) = grant {
+            self.apl_cache.touch(hw);
+        }
+        Some((pte, grant, read_ok, write_ok))
+    }
+
+    /// Installs the translation for a single-page access that just passed
+    /// [`Cpu::data_access`], returning what was installed so the block
+    /// loop can mirror it into its operand memo. Capability-granted
+    /// accesses are never cached (byte-ranged and revocation-sensitive);
+    /// capability-storage pages cannot reach here (the tamper fault
+    /// already fired).
+    fn dcache_fill<M: Bus>(
+        &mut self,
+        mem: &M,
+        addr: u64,
+        size: u64,
+    ) -> Option<(Pte, DGrant, bool, bool)> {
+        if !self.xblocks || page_offset(addr) > PAGE_SIZE - size {
+            return None;
+        }
+        let pt = self.active_pt;
+        let pte = mem.lookup_pte(pt, addr).expect("validated access is mapped");
+        let (grant, read_ok, write_ok) = if self.kernel_mode {
+            (DGrant::Kernel, true, true)
+        } else if pte.tag == self.cur_dom {
+            (
+                DGrant::SelfDom,
+                pte.flags.contains(PageFlags::READ),
+                pte.flags.contains(PageFlags::WRITE),
+            )
+        } else {
+            let (hw, apl) = self.apl_cache.peek(self.cur_dom)?;
+            let p = apl.get(pte.tag);
+            let read_ok = p >= Perm::Read && pte.flags.contains(PageFlags::READ);
+            let write_ok = p >= Perm::Write && pte.flags.contains(PageFlags::WRITE);
+            if !read_ok && !write_ok {
+                // The access was capability-granted; leave it uncached.
+                return None;
+            }
+            (DGrant::Apl(hw), read_ok, write_ok)
+        };
+        self.dcache.fill(
+            pt,
+            vpn(addr),
+            mem.table_generation(pt),
+            self.cur_dom,
+            self.kernel_mode,
+            self.apl_cache.version(),
+            grant,
+            read_ok,
+            write_ok,
+            pte,
+        );
+        Some((pte, grant, read_ok, write_ok))
     }
 
     /// Full check for a plain data access: conventional page bits, the

@@ -78,7 +78,11 @@ impl InstrCache {
 
     #[inline]
     fn index(pt: PageTableId, vpn: u64) -> usize {
-        (vpn as usize ^ pt.0.wrapping_mul(0x9e37_79b9)) & (ENTRIES - 1)
+        // Fibonacci multiply hash indexed from the top product bits, so
+        // code pages in distant VA windows don't alias when they agree in
+        // the low page-number bits.
+        let k = vpn.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((k >> 56) as usize ^ pt.0.wrapping_mul(0x9e37_79b9)) & (ENTRIES - 1)
     }
 
     /// Looks up the instruction at `slot` of page `(pt, vpn)`. Returns the

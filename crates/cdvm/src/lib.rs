@@ -22,7 +22,15 @@
 //!   the fetch fast path (disable with `CDVM_NO_FASTPATH=1`).
 //! * [`blocks`] — the superblock cache: straight-line instruction runs
 //!   validated once per entry and dispatched block-to-block with batched
-//!   cost accounting (disable with `CDVM_NO_BLOCKS=1`).
+//!   cost accounting (disable with `CDVM_NO_BLOCKS=1`). Block edges also
+//!   carry pre-validated cross-domain crossing descriptors
+//!   (disable with `CDVM_NO_XBLOCKS=1`).
+//! * [`threaded`] — direct-threaded dispatch for the pure ALU prefix of a
+//!   block: pre-resolved handler pointers instead of a `match` per
+//!   instruction (disable with `CDVM_NO_THREADED=1`).
+//! * [`dcache`] — the per-CPU memory-operand translation cache: repeated
+//!   same-page loads/stores skip the full page walk and CODOMs data check
+//!   (shares the `CDVM_NO_XBLOCKS=1` kill switch).
 //! * [`machine`] — the deterministic SMP machine: N CPUs in a
 //!   barrier-synchronised quantum schedule, executed host-parallel on a
 //!   worker pool (`SMP_HOST_THREADS`) with bit-identical results for any
@@ -32,11 +40,13 @@ pub mod asm;
 pub mod blocks;
 pub mod cost;
 pub mod cpu;
+pub mod dcache;
 pub mod disasm;
 pub mod icache;
 pub mod isa;
 pub mod machine;
 pub mod stats;
+pub mod threaded;
 
 pub use asm::{Asm, Reloc, RelocKind};
 pub use blocks::{BlockCache, BlockStats};

@@ -118,10 +118,24 @@ pub struct HostCacheStats {
     pub block_fills: u64,
     /// Block fills that displaced a live block.
     pub block_evicts: u64,
+    /// Evictions that displaced a *different* `(pt, entry)` — set-conflict
+    /// pressure in the 2-way block cache (re-forms of the same block after
+    /// invalidation don't count).
+    pub block_evict_conflicts: u64,
     /// Block-to-block transfers taken through a chain hint.
     pub block_chains: u64,
     /// Mid-block aborts after a code-epoch bump.
     pub block_bails: u64,
+    /// Domain crossings served by a valid block-edge crossing descriptor
+    /// (full CODOMs jump check skipped, APL probe replayed).
+    pub cross_hits: u64,
+    /// Domain crossings at a block edge that took the full check (and, on
+    /// success, installed a descriptor).
+    pub cross_misses: u64,
+    /// Data accesses served by the memory-operand translation cache.
+    pub dcache_hits: u64,
+    /// Data accesses that took the full walk + check path.
+    pub dcache_misses: u64,
 }
 
 impl HostCacheStats {
@@ -136,8 +150,13 @@ impl HostCacheStats {
             block_misses: self.block_misses - earlier.block_misses,
             block_fills: self.block_fills - earlier.block_fills,
             block_evicts: self.block_evicts - earlier.block_evicts,
+            block_evict_conflicts: self.block_evict_conflicts - earlier.block_evict_conflicts,
             block_chains: self.block_chains - earlier.block_chains,
             block_bails: self.block_bails - earlier.block_bails,
+            cross_hits: self.cross_hits - earlier.cross_hits,
+            cross_misses: self.cross_misses - earlier.cross_misses,
+            dcache_hits: self.dcache_hits - earlier.dcache_hits,
+            dcache_misses: self.dcache_misses - earlier.dcache_misses,
         }
     }
 
@@ -158,6 +177,27 @@ impl HostCacheStats {
             0.0
         } else {
             self.icache_hits as f64 / total as f64
+        }
+    }
+
+    /// Crossing-descriptor hit rate in `[0, 1]` (0 when no block-edge
+    /// crossings happened).
+    pub fn cross_hit_rate(&self) -> f64 {
+        let total = self.cross_hits + self.cross_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_hits as f64 / total as f64
+        }
+    }
+
+    /// Memory-operand translation-cache hit rate in `[0, 1]`.
+    pub fn dcache_hit_rate(&self) -> f64 {
+        let total = self.dcache_hits + self.dcache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dcache_hits as f64 / total as f64
         }
     }
 }

@@ -486,8 +486,9 @@ fn revocation_between_chained_blocks_faults_at_the_crossing() {
 
     let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let mut outcomes = Vec::new();
-    for blocks in [false, true] {
+    for (blocks, xblocks) in XMODES {
         simmem::set_blocks(Some(blocks));
+        simmem::set_xblocks(Some(xblocks));
         let mut mem = Memory::new();
         let pt = Memory::GLOBAL_PT;
         mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
@@ -522,13 +523,18 @@ fn revocation_between_chained_blocks_faults_at_the_crossing() {
                     f.kind
                 );
             }
-            ev => panic!("revoked crossing was allowed (blocks={blocks}): {ev:?}"),
+            ev => {
+                panic!("revoked crossing was allowed (blocks={blocks} xblocks={xblocks}): {ev:?}")
+            }
         }
         assert_eq!(cpu.domain_crossings, 2, "one entry, one return before the denial");
         outcomes.push((ev, cpu.cycles, cpu.retired, cpu.domain_crossings));
         simmem::set_blocks(None);
+        simmem::set_xblocks(None);
     }
-    assert_eq!(outcomes[0], outcomes[1], "block engine diverged from interpreter");
+    for o in &outcomes[1..] {
+        assert_eq!(*o, outcomes[0], "cache mode diverged from interpreter");
+    }
 }
 
 #[test]
@@ -585,4 +591,242 @@ fn smp_cross_cpu_patch_invalidates_chained_blocks_at_barrier() {
         assert!(b.fills >= 3, "expected re-formation after the patch, stats: {b:?}");
     }
     simmem::set_blocks(None);
+}
+
+// ---------------------------------------------------------------------
+// Crossing-descriptor invalidation: in xblocks mode a block whose entry
+// edge crosses domains carries a pre-validated crossing descriptor, and
+// chained re-entries replay it instead of re-running the full CODOMs
+// check. Every source of authority change — APL content, page tags,
+// mappings, capability revocation — must still be observed on the very
+// next crossing, identically to the interpreter.
+// ---------------------------------------------------------------------
+
+const FAR: u64 = 0x70_000;
+
+/// `(blocks, xblocks)` combinations every crossing scenario must agree
+/// on. xblocks without blocks still exercises the dcache, but crossing
+/// descriptors only exist on block edges.
+const XMODES: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+
+/// A two-domain ping-pong: domain 1 at `CODE` jumps into domain 2 at
+/// `FAR`; domain 2 counts iterations in T4 and either jumps back or
+/// halts after `iters`.
+fn ping_pong(iters: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut a = Asm::new();
+    a.push(Instr::Addi { rd: T3, rs1: T3, imm: 1 });
+    let here = a.here();
+    a.push(Instr::Jal { rd: 0, imm: (FAR - (CODE + here)) as i32 });
+    let caller = a.finish().bytes;
+    let mut a = Asm::new();
+    a.push(Instr::Addi { rd: T4, rs1: T4, imm: 1 });
+    a.li(T5, iters);
+    a.beq(T4, T5, "done");
+    let here = a.here();
+    a.push(Instr::Jal { rd: 0, imm: (CODE as i64 - (FAR + here) as i64) as i32 });
+    a.label("done");
+    a.push(Instr::Halt);
+    (caller, a.finish().bytes)
+}
+
+/// Builds the two-domain world with APL grants both ways, runs the warm
+/// ping-pong to `Halt`, applies `mutate`, resets the CPU to `CODE`, and
+/// runs again. Returns the post-mutation outcome. With xblocks on, the
+/// warm phase must actually have served crossing descriptors.
+fn crossing_scenario(
+    blocks: bool,
+    xblocks: bool,
+    mutate: impl FnOnce(&mut Cpu, &mut Memory),
+) -> (StepEvent, u64, u64, u64) {
+    simmem::set_blocks(Some(blocks));
+    simmem::set_xblocks(Some(xblocks));
+    let (caller, callee) = ping_pong(200);
+    let mut mem = Memory::new();
+    let pt = Memory::GLOBAL_PT;
+    mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+    mem.kwrite(pt, CODE, &caller).unwrap();
+    mem.map_anon(pt, FAR, 1, PageFlags::RX, DomainTag(2));
+    mem.kwrite(pt, FAR, &callee).unwrap();
+    let mut cpu = Cpu::new(0);
+    cpu.pc = CODE;
+    cpu.cur_dom = DomainTag(1);
+    cpu.thread = 1;
+    let mut to2 = Apl::new();
+    to2.set(DomainTag(2), Perm::Read);
+    cpu.apl_cache.fill(DomainTag(1), to2);
+    let mut back = Apl::new();
+    back.set(DomainTag(1), Perm::Read);
+    cpu.apl_cache.fill(DomainTag(2), back);
+    let mut rev = RevocationTable::new();
+    assert_eq!(run_to_event(&mut cpu, &mut mem, &mut rev), StepEvent::Halt, "warm run");
+    if blocks && xblocks {
+        assert!(cpu.block_stats().cross_hits > 0, "warm crossings must be served by descriptors");
+    }
+    mutate(&mut cpu, &mut mem);
+    cpu.pc = CODE;
+    cpu.cur_dom = DomainTag(1); // the warm run halted inside domain 2
+    cpu.set_reg(T4, 0); // reset the callee's iteration counter
+    let ev = run_to_event(&mut cpu, &mut mem, &mut rev);
+    simmem::set_blocks(None);
+    simmem::set_xblocks(None);
+    (ev, cpu.cycles, cpu.retired, cpu.domain_crossings)
+}
+
+/// Runs `mutate` through every mode combination and asserts the
+/// post-mutation outcome (event, cycles, retired, crossings) is
+/// identical; returns the common outcome for scenario-specific checks.
+fn assert_crossing_identical(
+    name: &str,
+    mutate: impl Fn(&mut Cpu, &mut Memory) + Copy,
+) -> (StepEvent, u64, u64, u64) {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let base = crossing_scenario(false, false, mutate);
+    for (blocks, xblocks) in XMODES.into_iter().skip(1) {
+        let got = crossing_scenario(blocks, xblocks, mutate);
+        assert_eq!(got, base, "{name} [blocks={blocks} xblocks={xblocks}]: diverged");
+    }
+    base
+}
+
+#[test]
+fn apl_change_between_crossings_is_honored() {
+    // Replacing domain 1's APL with one that no longer grants domain 2
+    // bumps the APL-cache version; a warm descriptor for the 1→2 edge
+    // must not be served and the re-checked crossing must be denied.
+    let (ev, ..) = assert_crossing_identical("apl-change", |cpu, _mem| {
+        cpu.apl_cache.update(DomainTag(1), Apl::new());
+    });
+    match ev {
+        StepEvent::Fault(f) => {
+            assert_eq!(f.pc, FAR, "denial must land on the crossing entry");
+            assert!(matches!(f.kind, FaultKind::Codoms(_)), "expected denial, got {:?}", f.kind);
+        }
+        ev => panic!("revoked APL grant still crossed: {ev:?}"),
+    }
+}
+
+#[test]
+fn retag_of_crossing_target_is_honored() {
+    // Re-tagging the callee page to a third domain makes the warm 1→2
+    // descriptor refer to an edge that no longer exists; domain 1 has no
+    // grant into domain 3, so the crossing must be denied.
+    let (ev, ..) = assert_crossing_identical("retag", |_cpu, mem| {
+        mem.table_mut(Memory::GLOBAL_PT).set_tag(FAR, DomainTag(3));
+    });
+    match ev {
+        StepEvent::Fault(f) => {
+            assert_eq!(f.pc, FAR);
+            assert!(matches!(f.kind, FaultKind::Codoms(_)), "expected denial, got {:?}", f.kind);
+        }
+        StepEvent::AplMiss(tag) => assert_eq!(tag, DomainTag(1)),
+        ev => panic!("re-tagged page still entered as domain 2: {ev:?}"),
+    }
+}
+
+#[test]
+fn remap_of_crossing_target_is_rechecked_and_allowed() {
+    // Remapping the callee page (same tag, fresh frame, fresh code that
+    // halts immediately) re-forms the block; the re-run crossing check
+    // passes and execution runs the *new* bytes.
+    let (ev, _, _, crossings) = assert_crossing_identical("remap", |_cpu, mem| {
+        let pt = Memory::GLOBAL_PT;
+        mem.unmap(pt, FAR, 1);
+        mem.map_anon(pt, FAR, 1, PageFlags::RX, DomainTag(2));
+        let mut a = Asm::new();
+        a.push(Instr::Halt);
+        mem.kwrite(pt, FAR, &a.finish().bytes).unwrap();
+    });
+    assert_eq!(ev, StepEvent::Halt, "remapped same-tag target must still be enterable");
+    // Warm phase: 200 entries + 199 returns; post-mutation: one entry.
+    assert_eq!(crossings, 400, "exactly one crossing after the remap");
+}
+
+#[test]
+fn smp_cross_cpu_epoch_bump_invalidates_crossing_blocks_at_barrier() {
+    // CPU 0 spins through a two-domain loop (CODE in domain 1 jumps into
+    // FAR in domain 2, which jumps back), so its hot blocks carry warm
+    // crossing descriptors on both edges. CPU 1 patches the spin's exit
+    // condition; the store lands at the quantum barrier and bumps the
+    // code epoch, which must re-form the crossing blocks — re-running
+    // the CODOMs checks — rather than serve stale descriptors. The
+    // simulated outcome must be identical with and without xblocks, for
+    // every host thread count.
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut outcomes = Vec::new();
+    for xblocks in [false, true] {
+        for threads in [1usize, 2] {
+            simmem::set_blocks(Some(true));
+            simmem::set_xblocks(Some(xblocks));
+            let mut a = Asm::new();
+            a.push(Instr::Movi { rd: A0, imm: 1 }); // patch site (CODE + 0)
+            a.li(T0, 2);
+            a.beq(A0, T0, "done");
+            let here = a.here();
+            a.push(Instr::Jal { rd: 0, imm: (FAR - (CODE + here)) as i32 });
+            a.label("done");
+            a.push(Instr::Halt);
+            let spin = a.finish().bytes;
+            let bounce =
+                Instr::Jal { rd: 0, imm: (CODE as i64 - FAR as i64) as i32 }.encode().to_vec();
+
+            let patched = u64::from_le_bytes(encode(Instr::Movi { rd: A0, imm: 2 }));
+            let mut a = Asm::new();
+            a.li(T1, patched);
+            a.li(T2, CODE);
+            a.push(Instr::St { rs1: T2, rs2: T1, imm: 0 });
+            a.push(Instr::Halt);
+            let patcher = a.finish().bytes;
+
+            let mut mem = Memory::new();
+            let pt = Memory::GLOBAL_PT;
+            mem.map_anon(pt, CODE, 1, PageFlags::RWX, DomainTag(1));
+            mem.kwrite(pt, CODE, &spin).unwrap();
+            mem.map_anon(pt, FAR, 1, PageFlags::RX, DomainTag(2));
+            mem.kwrite(pt, FAR, &bounce).unwrap();
+            mem.map_anon(pt, CODE2, 1, PageFlags::RX, DomainTag(1));
+            mem.kwrite(pt, CODE2, &patcher).unwrap();
+
+            let mut m = Machine::new(2, mem, CostModel::default());
+            m.set_quantum(2_000);
+            m.set_host_threads(threads);
+            for (i, cpu) in m.cpus.iter_mut().enumerate() {
+                cpu.pc = if i == 0 { CODE } else { CODE2 };
+                cpu.cur_dom = DomainTag(1);
+                cpu.thread = 1 + i as u64;
+                let mut to2 = Apl::new();
+                to2.set(DomainTag(2), Perm::Read);
+                cpu.apl_cache.fill(DomainTag(1), to2);
+                let mut back = Apl::new();
+                back.set(DomainTag(1), Perm::Read);
+                cpu.apl_cache.fill(DomainTag(2), back);
+            }
+            let quanta = m.run_to_halt(1_000);
+            assert!(
+                m.all_halted(),
+                "spin never saw the patch (threads={threads} xblocks={xblocks})"
+            );
+            assert_eq!(m.cpus[0].reg(A0), 2, "stale crossing block after cross-CPU patch");
+            assert!(quanta >= 2, "patch visible too early: {quanta} quanta");
+            if xblocks {
+                let b = m.cpus[0].block_stats();
+                assert!(b.cross_hits > 0, "spin loop should have served crossing descriptors");
+            }
+            outcomes.push((
+                threads,
+                quanta,
+                m.cpus[0].cycles,
+                m.cpus[0].retired,
+                m.cpus[0].domain_crossings,
+                m.cpus[0].reg(A0),
+            ));
+            simmem::set_blocks(None);
+            simmem::set_xblocks(None);
+        }
+    }
+    // Strip the thread-count tag and require one identical simulated
+    // outcome across xblocks × host-thread combinations.
+    let strip = |o: &(usize, u64, u64, u64, u64, u64)| (o.1, o.2, o.3, o.4, o.5);
+    for o in &outcomes[1..] {
+        assert_eq!(strip(o), strip(&outcomes[0]), "outcome diverged: {outcomes:?}");
+    }
 }

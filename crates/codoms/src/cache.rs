@@ -38,6 +38,14 @@ pub struct AplCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Content version: bumped by every [`AplCache::fill`],
+    /// [`AplCache::invalidate`] and [`AplCache::update`]. Host-side caches
+    /// that memoise a *decision derived from the cache contents* (the cdvm
+    /// crossing descriptors) compare it to detect staleness. LRU/tick
+    /// movement does not bump it — recency never changes a lookup outcome,
+    /// and the fill that *consumes* the recency ordering bumps the version
+    /// itself.
+    version: u64,
 }
 
 impl Default for AplCache {
@@ -49,7 +57,7 @@ impl Default for AplCache {
 impl AplCache {
     /// Creates an empty cache.
     pub fn new() -> AplCache {
-        AplCache { slots: vec![None; APL_CACHE_ENTRIES], tick: 0, hits: 0, misses: 0 }
+        AplCache { slots: vec![None; APL_CACHE_ENTRIES], tick: 0, hits: 0, misses: 0, version: 0 }
     }
 
     /// Looks up a domain's cached APL. Returns `None` on a miss (the caller
@@ -86,11 +94,52 @@ impl AplCache {
             .map(|i| HwTag(i as u8))
     }
 
+    /// Non-mutating peek at a cached domain's APL. Unlike
+    /// [`AplCache::lookup`] this touches neither the recency state nor the
+    /// hit/miss counters; host-side caches use it to pre-compute decisions
+    /// without perturbing the simulated cache.
+    pub fn peek(&self, tag: DomainTag) -> Option<(HwTag, &Apl)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .find(|(_, s)| s.as_ref().is_some_and(|s| s.tag == tag))
+            .map(|(i, s)| (HwTag(i as u8), &s.as_ref().expect("matched above").apl))
+    }
+
+    /// Replays the exact state change of one [`AplCache::lookup`] *hit* on
+    /// the slot `hw` without rescanning the cache: the tick advances, the
+    /// slot's LRU stamp moves to the new tick, and one hit is counted. Used
+    /// by the cdvm crossing-descriptor fast path, which has already proven
+    /// (via the content [`AplCache::version`]) that a lookup would hit this
+    /// slot.
+    pub fn touch(&mut self, hw: HwTag) {
+        self.tick += 1;
+        let slot = self.slots[hw.0 as usize].as_mut().expect("touch of an empty APL slot");
+        slot.lru = self.tick;
+        self.hits += 1;
+    }
+
+    /// Replays the exact state change of one [`AplCache::lookup`] *miss*:
+    /// the tick advances and one miss is counted. Companion of
+    /// [`AplCache::touch`] for descriptors whose original validation probed
+    /// the cache and missed (capability-granted crossings).
+    pub fn note_miss(&mut self) {
+        self.tick += 1;
+        self.misses += 1;
+    }
+
+    /// Content version (see the field docs): changes whenever a fill,
+    /// invalidate or update may have altered a lookup outcome.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Software refill after a miss: installs `tag`'s APL, evicting the LRU
     /// slot if full. Returns the assigned hardware tag and the evicted
     /// domain's tag (if any).
     pub fn fill(&mut self, tag: DomainTag, apl: Apl) -> (HwTag, Option<DomainTag>) {
         self.tick += 1;
+        self.version += 1;
         if let Some(i) = self.slots.iter().position(Option::is_none) {
             self.slots[i] = Some(Slot { tag, apl, lru: self.tick });
             return (HwTag(i as u8), None);
@@ -109,6 +158,7 @@ impl AplCache {
     /// Invalidates a domain's slot (grant revocation / domain destruction
     /// must not leave stale hardware state).
     pub fn invalidate(&mut self, tag: DomainTag) {
+        self.version += 1;
         for slot in &mut self.slots {
             if slot.as_ref().is_some_and(|s| s.tag == tag) {
                 *slot = None;
@@ -119,6 +169,7 @@ impl AplCache {
     /// Updates the cached APL of `tag` in place, if present (grant create /
     /// revoke on a currently-cached domain).
     pub fn update(&mut self, tag: DomainTag, apl: Apl) {
+        self.version += 1;
         for slot in self.slots.iter_mut().flatten() {
             if slot.tag == tag {
                 slot.apl = apl;
@@ -212,5 +263,51 @@ mod tests {
         let mut c = AplCache::new();
         let a = DomainTag(1);
         assert_eq!(c.perm(a, a), Some(Perm::Write));
+    }
+
+    #[test]
+    fn touch_and_note_miss_replay_lookup_exactly() {
+        // Two caches, same fills: one takes real lookups, one replays them
+        // through touch/note_miss. Counters and future eviction order must
+        // match bit for bit.
+        let mut real = AplCache::new();
+        let mut replay = AplCache::new();
+        for c in [&mut real, &mut replay] {
+            for i in 1..=APL_CACHE_ENTRIES as u32 {
+                c.fill(DomainTag(i), Apl::new());
+            }
+        }
+        let hw = real.hw_tag(DomainTag(1)).expect("filled");
+        assert!(real.lookup(DomainTag(1)).is_some());
+        replay.touch(hw);
+        assert!(real.lookup(DomainTag(999)).is_none());
+        replay.note_miss();
+        assert_eq!(real.stats(), replay.stats());
+        // Tag 1 was refreshed in both; the next fill must evict tag 2 in
+        // both (identical LRU state).
+        let (_, ev_real) = real.fill(DomainTag(100), Apl::new());
+        let (_, ev_replay) = replay.fill(DomainTag(100), Apl::new());
+        assert_eq!(ev_real, ev_replay);
+        assert_eq!(ev_real, Some(DomainTag(2)));
+    }
+
+    #[test]
+    fn version_tracks_content_changes_only() {
+        let mut c = AplCache::new();
+        let v0 = c.version();
+        let a = DomainTag(1);
+        let b = DomainTag(2);
+        let (hw, _) = c.fill(a, apl_with(b, Perm::Read));
+        assert_ne!(c.version(), v0, "fill changes content");
+        let v1 = c.version();
+        assert!(c.lookup(a).is_some());
+        c.touch(hw);
+        c.note_miss();
+        assert_eq!(c.version(), v1, "recency movement is not a content change");
+        c.update(a, apl_with(b, Perm::Call));
+        assert_ne!(c.version(), v1, "update changes content");
+        let v2 = c.version();
+        c.invalidate(a);
+        assert_ne!(c.version(), v2, "invalidate changes content");
     }
 }

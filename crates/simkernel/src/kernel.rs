@@ -743,6 +743,20 @@ impl Kernel {
 
         let next_ev = self.events.peek_time().unwrap_or(u64::MAX);
         let quantum_end = self.cpus[i].quantum_start + self.sys.quantum;
+        // An expired quantum only matters when a local thread is (or will
+        // become) ready to take over. The runq cannot change while this CPU
+        // runs its slice (other CPUs and events act between slices, and
+        // pending events already bound the deadline via `next_ev`), so when
+        // the runq is empty there is no preemption point to honor — don't
+        // crawl one instruction at a time behind a stale `quantum_start`.
+        // When the quantum has expired and a runq entry exists, stop at its
+        // `ready_at` (same instruction boundary the per-step check would
+        // preempt on).
+        let preempt_bound = if self.cpus[i].cpu.cycles < quantum_end {
+            quantum_end
+        } else {
+            self.cpus[i].runq.iter().map(|t| self.threads[t].ready_at).min().unwrap_or(u64::MAX)
+        };
         let max_slice = self.cpus[i].cpu.cycles + self.sys.max_slice;
         // Causality window: never run further than `sync_window` ahead of
         // the slowest other busy CPU, so cross-CPU shared-memory visibility
@@ -754,7 +768,7 @@ impl Kernel {
             .unwrap_or(u64::MAX);
         let sync_bound = other_min.saturating_add(self.sys.sync_window);
         let deadline = next_ev
-            .min(quantum_end)
+            .min(preempt_bound)
             .min(max_slice)
             .min(sync_bound)
             .max(self.cpus[i].cpu.cycles + 1);

@@ -56,6 +56,24 @@ pub trait Bus {
     /// Marks a frame as backing executed code, so later writes to it bump
     /// the code epoch.
     fn mark_code(&mut self, frame: FrameId);
+
+    /// Frame-direct little-endian u64 read at `off` (must be within the
+    /// frame). Used by the cdvm data-operand translation cache once the
+    /// page translation has been resolved and validated: equivalent to
+    /// [`Bus::kread_u64`] minus the redundant second page walk.
+    fn frame_read_u64(&self, frame: FrameId, off: u64) -> u64;
+
+    /// Frame-direct little-endian u64 write at `off` (must be within the
+    /// frame). Writes to code-marked frames bump the code epoch exactly
+    /// like [`Bus::kwrite_u64`] would.
+    fn frame_write_u64(&mut self, frame: FrameId, off: u64, v: u64);
+
+    /// Frame-direct byte read at `off`.
+    fn frame_read_byte(&self, frame: FrameId, off: u64) -> u8;
+
+    /// Frame-direct byte write at `off` (code-epoch semantics as for
+    /// [`Bus::frame_write_u64`]).
+    fn frame_write_byte(&mut self, frame: FrameId, off: u64, v: u8);
 }
 
 impl Bus for Memory {
@@ -107,5 +125,27 @@ impl Bus for Memory {
     #[inline]
     fn mark_code(&mut self, frame: FrameId) {
         self.phys_mut().mark_code(frame)
+    }
+
+    #[inline]
+    fn frame_read_u64(&self, frame: FrameId, off: u64) -> u64 {
+        self.phys().read_u64(frame, off)
+    }
+
+    #[inline]
+    fn frame_write_u64(&mut self, frame: FrameId, off: u64, v: u64) {
+        self.phys_mut().write_u64(frame, off, v)
+    }
+
+    #[inline]
+    fn frame_read_byte(&self, frame: FrameId, off: u64) -> u8 {
+        let mut b = [0u8; 1];
+        self.phys().read(frame, off, &mut b);
+        b[0]
+    }
+
+    #[inline]
+    fn frame_write_byte(&mut self, frame: FrameId, off: u64, v: u8) {
+        self.phys_mut().write(frame, off, &[v])
     }
 }

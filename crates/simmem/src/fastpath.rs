@@ -1,6 +1,6 @@
 //! Process-wide switches for the host-side fast-path caches.
 //!
-//! Two independent switches, both pure host-speed optimisations with
+//! Four independent switches, all pure host-speed optimisations with
 //! identical simulated cycles, fault sequences and trace output on or off:
 //!
 //! * the **fast path** (the [`crate::Memory`] translation cache and the
@@ -9,8 +9,17 @@
 //! * the **block engine** (the cdvm superblock cache, which dispatches
 //!   straight-line runs of instructions with batched validation and cost
 //!   accounting) — `CDVM_NO_BLOCKS=1` disables it, [`set_blocks`]
-//!   overrides. The two compose: all four on/off combinations are valid
-//!   and differentially tested.
+//!   overrides;
+//! * the **cross-domain engine** (cached CODOMs crossing descriptors on
+//!   block edges plus the per-CPU data-operand translation cache) —
+//!   `CDVM_NO_XBLOCKS=1` disables it, [`set_xblocks`] overrides;
+//! * the **direct-threaded dispatch** experiment (pre-resolved handler
+//!   pointers for ALU-dense block bodies) — `CDVM_NO_THREADED=1`
+//!   disables it, [`set_threaded`] overrides.
+//!
+//! The switches compose: every on/off combination is valid and the
+//! `CDVM_NO_BLOCKS` × `CDVM_NO_FASTPATH` × `CDVM_NO_XBLOCKS` matrix is
+//! differentially tested byte-identical.
 //!
 //! The flags are sampled once at construction time by
 //! [`crate::Memory::new`] and `cdvm::Cpu::new`, never per access.
@@ -24,6 +33,13 @@ static OVERRIDE: AtomicU8 = AtomicU8::new(0);
 /// Same encoding, for the block engine.
 static BLOCKS_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
+/// Same encoding, for the cross-domain engine (crossing descriptors +
+/// data translation cache).
+static XBLOCKS_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Same encoding, for direct-threaded block dispatch.
+static THREADED_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
 fn env_default() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("CDVM_NO_FASTPATH") {
@@ -35,6 +51,22 @@ fn env_default() -> bool {
 fn blocks_env_default() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| match std::env::var("CDVM_NO_BLOCKS") {
+        Ok(v) => !(v == "1" || v.eq_ignore_ascii_case("true")),
+        Err(_) => true,
+    })
+}
+
+fn xblocks_env_default() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("CDVM_NO_XBLOCKS") {
+        Ok(v) => !(v == "1" || v.eq_ignore_ascii_case("true")),
+        Err(_) => true,
+    })
+}
+
+fn threaded_env_default() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("CDVM_NO_THREADED") {
         Ok(v) => !(v == "1" || v.eq_ignore_ascii_case("true")),
         Err(_) => true,
     })
@@ -83,6 +115,51 @@ pub fn set_blocks(enabled: Option<bool>) {
     BLOCKS_OVERRIDE.store(v, Ordering::Relaxed);
 }
 
+/// Whether newly constructed CPUs should use the cross-domain engine:
+/// pre-validated crossing descriptors on block edges and the per-CPU
+/// data-operand translation cache.
+pub fn xblocks_enabled() -> bool {
+    match XBLOCKS_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => xblocks_env_default(),
+    }
+}
+
+/// Overrides the `CDVM_NO_XBLOCKS` environment variable for this process
+/// (same semantics as [`set_fastpath`]). Only affects CPUs constructed
+/// *after* the call.
+pub fn set_xblocks(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    XBLOCKS_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Whether newly constructed CPUs should dispatch ALU-dense block bodies
+/// through the direct-threaded handler table.
+pub fn threaded_enabled() -> bool {
+    match THREADED_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => threaded_env_default(),
+    }
+}
+
+/// Overrides the `CDVM_NO_THREADED` environment variable for this process
+/// (same semantics as [`set_fastpath`]). Only affects CPUs constructed
+/// *after* the call.
+pub fn set_threaded(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    THREADED_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +192,24 @@ mod tests {
         set_blocks(None);
         set_fastpath(None);
         let _ = blocks_enabled();
+    }
+
+    #[test]
+    fn xblocks_and_threaded_overrides_are_independent() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_xblocks(Some(false));
+        set_threaded(Some(true));
+        set_blocks(Some(true));
+        assert!(!xblocks_enabled());
+        assert!(threaded_enabled());
+        assert!(blocks_enabled());
+        set_xblocks(Some(true));
+        set_threaded(Some(false));
+        assert!(xblocks_enabled());
+        assert!(!threaded_enabled());
+        set_xblocks(None);
+        set_threaded(None);
+        set_blocks(None);
+        let _ = (xblocks_enabled(), threaded_enabled());
     }
 }

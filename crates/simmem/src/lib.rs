@@ -35,7 +35,10 @@ pub mod tlb;
 pub mod vas;
 
 pub use bus::Bus;
-pub use fastpath::{blocks_enabled, fastpath_enabled, set_blocks, set_fastpath};
+pub use fastpath::{
+    blocks_enabled, fastpath_enabled, set_blocks, set_fastpath, set_threaded, set_xblocks,
+    threaded_enabled, xblocks_enabled,
+};
 pub use mem::{MemFault, Memory};
 pub use page::{DomainTag, PageFlags, PAGE_SHIFT, PAGE_SIZE};
 pub use pagetable::{PageTable, PageTableId, Pte};

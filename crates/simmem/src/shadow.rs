@@ -282,6 +282,39 @@ impl Bus for ShadowMem<'_> {
             self.code_marks.push(frame.0);
         }
     }
+
+    #[inline]
+    fn frame_read_u64(&self, frame: FrameId, off: u64) -> u64 {
+        match self.overlay.get(&frame.0) {
+            Some(sf) => {
+                let o = off as usize;
+                u64::from_le_bytes(sf.bytes[o..o + 8].try_into().expect("slice len 8"))
+            }
+            None => self.base.phys.read_u64(frame, off),
+        }
+    }
+
+    #[inline]
+    fn frame_write_u64(&mut self, frame: FrameId, off: u64, v: u64) {
+        self.write_frame(frame, off, &v.to_le_bytes())
+    }
+
+    #[inline]
+    fn frame_read_byte(&self, frame: FrameId, off: u64) -> u8 {
+        match self.overlay.get(&frame.0) {
+            Some(sf) => sf.bytes[off as usize],
+            None => {
+                let mut b = [0u8; 1];
+                self.base.phys.read(frame, off, &mut b);
+                b[0]
+            }
+        }
+    }
+
+    #[inline]
+    fn frame_write_byte(&mut self, frame: FrameId, off: u64, v: u8) {
+        self.write_frame(frame, off, &[v])
+    }
 }
 
 use crate::bus::Bus;
@@ -435,6 +468,26 @@ mod tests {
         // Write spanning past the mapped region must fail without writing.
         assert!(Bus::kwrite(&mut s, pt, 0x2ffc, &[0xff; 8]).is_err());
         assert!(s.into_delta().is_empty());
+    }
+
+    #[test]
+    fn frame_direct_accessors_respect_overlay_and_epoch() {
+        let (mut m, pt) = setup();
+        m.kwrite_u64(pt, 0x1000, 0x1111).unwrap();
+        let pte = m.translate(pt, 0x1000, Access::Read).unwrap();
+        m.phys_mut().mark_code(pte.frame);
+        let mut s = ShadowMem::new(m.snapshot());
+        assert_eq!(Bus::frame_read_u64(&s, pte.frame, 0), 0x1111, "base visible");
+        let e0 = Bus::code_epoch(&s);
+        Bus::frame_write_u64(&mut s, pte.frame, 0, 0x2222);
+        assert!(Bus::code_epoch(&s) > e0, "code-frame write bumps the local epoch");
+        assert_eq!(Bus::frame_read_u64(&s, pte.frame, 0), 0x2222, "overlay visible");
+        assert_eq!(Bus::kread_u64(&s, pt, 0x1000).unwrap(), 0x2222, "kread sees the same bytes");
+        Bus::frame_write_byte(&mut s, pte.frame, 8, 0xab);
+        assert_eq!(Bus::frame_read_byte(&s, pte.frame, 8), 0xab);
+        let d = s.into_delta();
+        d.apply(&mut m);
+        assert_eq!(m.kread_u64(pt, 0x1000).unwrap(), 0x2222, "delta carries frame writes");
     }
 
     #[test]

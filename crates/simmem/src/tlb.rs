@@ -47,6 +47,10 @@ struct Entry {
 pub struct Tlb {
     config: TlbConfig,
     sets: Vec<Vec<Entry>>,
+    /// `sets - 1` when the set count is a power of two (the common
+    /// geometries), letting the hot index computation mask instead of
+    /// dividing; `None` falls back to the modulo.
+    mask: Option<usize>,
     tick: u64,
     stats: TlbStats,
 }
@@ -54,7 +58,22 @@ pub struct Tlb {
 impl Tlb {
     /// Creates a TLB with the given geometry.
     pub fn new(config: TlbConfig) -> Tlb {
-        Tlb { config, sets: vec![Vec::new(); config.sets], tick: 0, stats: TlbStats::default() }
+        let mask = config.sets.is_power_of_two().then(|| config.sets - 1);
+        Tlb {
+            config,
+            sets: vec![Vec::new(); config.sets],
+            mask,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_idx(&self, vpn: u64) -> usize {
+        match self.mask {
+            Some(m) => (vpn as usize) & m,
+            None => (vpn as usize) % self.config.sets,
+        }
     }
 
     /// Looks up a translation; fills the entry on miss.
@@ -63,7 +82,7 @@ impl Tlb {
     pub fn access(&mut self, pt: PageTableId, addr: u64) -> bool {
         self.tick += 1;
         let vpn = vpn(addr);
-        let set_idx = (vpn as usize) % self.config.sets;
+        let set_idx = self.set_idx(vpn);
         let set = &mut self.sets[set_idx];
         if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn && e.pt == pt) {
             e.lru = self.tick;
@@ -98,7 +117,7 @@ impl Tlb {
         self.tick += n;
         self.stats.hits += n;
         let vpn = vpn(addr);
-        let set_idx = (vpn as usize) % self.config.sets;
+        let set_idx = self.set_idx(vpn);
         if let Some(e) = self.sets[set_idx].iter_mut().find(|e| e.vpn == vpn && e.pt == pt) {
             e.lru = self.tick;
         }
@@ -107,7 +126,7 @@ impl Tlb {
     /// Invalidates a single page's translation (TLB shootdown).
     pub fn invalidate(&mut self, pt: PageTableId, addr: u64) {
         let vpn = vpn(addr);
-        let set_idx = (vpn as usize) % self.config.sets;
+        let set_idx = self.set_idx(vpn);
         self.sets[set_idx].retain(|e| !(e.vpn == vpn && e.pt == pt));
     }
 

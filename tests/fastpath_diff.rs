@@ -1,18 +1,21 @@
 //! Differential proof that the fast-path caches are invisible: the same
-//! programs, run in every combination of the two host fast paths (the
-//! per-page decoded-instruction cache and the superblock engine), must
+//! programs, run in every combination of the three host fast paths (the
+//! per-page decoded-instruction cache, the superblock engine, and the
+//! cross-domain/translation layer of crossing descriptors + dcache), must
 //! produce identical simulated cycles, retired counts, faults, and
 //! byte-identical trace output.
 //!
 //! Two layers:
 //!  * a full-system check driving the `fig5` binary as a subprocess in all
-//!    four `CDVM_NO_FASTPATH` × `CDVM_NO_BLOCKS` modes (the env vars are
-//!    sampled at process start) and comparing stdout plus exported traces
-//!    byte-for-byte (the metrics summary is compared after dropping the
-//!    `host.*` cache-telemetry counters, which legitimately differ between
-//!    modes — everything simulated must match exactly);
+//!    eight `CDVM_NO_FASTPATH` × `CDVM_NO_BLOCKS` × `CDVM_NO_XBLOCKS`
+//!    modes, plus a `CDVM_NO_THREADED` run (the env vars are sampled at
+//!    process start), comparing stdout plus exported traces byte-for-byte
+//!    (the metrics summary is compared after dropping the `host.*`
+//!    cache-telemetry counters, which legitimately differ between modes —
+//!    everything simulated must match exactly);
 //!  * in-process CPU-level checks (via `simmem::set_fastpath` /
-//!    `simmem::set_blocks`) covering fault paths a figure binary never
+//!    `simmem::set_blocks` / `simmem::set_xblocks` /
+//!    `simmem::set_threaded`) covering fault paths a figure binary never
 //!    takes, driven through `Cpu::run` so the block engine engages.
 
 use std::process::Command;
@@ -28,26 +31,37 @@ fn scratch(name: &str) -> String {
     p.to_str().expect("utf-8 path").to_string()
 }
 
-/// The four host-cache mode combinations: `(fastpath, blocks)`.
-const MODES: [(bool, bool); 4] = [(false, false), (true, false), (false, true), (true, true)];
+/// The eight host-cache mode combinations: `(fastpath, blocks, xblocks)`.
+const MODES: [(bool, bool, bool); 8] = [
+    (false, false, false),
+    (true, false, false),
+    (false, true, false),
+    (true, true, false),
+    (false, false, true),
+    (true, false, true),
+    (false, true, true),
+    (true, true, true),
+];
 
-fn mode_name(fastpath: bool, blocks: bool) -> String {
+fn mode_name(fastpath: bool, blocks: bool, xblocks: bool) -> String {
     let on = |b: bool| if b { "on" } else { "off" };
-    format!("fastpath={} blocks={}", on(fastpath), on(blocks))
+    format!("fastpath={} blocks={} xblocks={}", on(fastpath), on(blocks), on(xblocks))
 }
 
-fn run_fig5(fastpath: bool, blocks: bool, trace: &str) -> String {
+fn run_fig5(fastpath: bool, blocks: bool, xblocks: bool, threaded: bool, trace: &str) -> String {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig5"));
     cmd.env_remove("BENCH_SCALE").env("DIPC_TRACE", trace);
-    if fastpath {
-        cmd.env_remove("CDVM_NO_FASTPATH");
-    } else {
-        cmd.env("CDVM_NO_FASTPATH", "1");
-    }
-    if blocks {
-        cmd.env_remove("CDVM_NO_BLOCKS");
-    } else {
-        cmd.env("CDVM_NO_BLOCKS", "1");
+    for (on, var) in [
+        (fastpath, "CDVM_NO_FASTPATH"),
+        (blocks, "CDVM_NO_BLOCKS"),
+        (xblocks, "CDVM_NO_XBLOCKS"),
+        (threaded, "CDVM_NO_THREADED"),
+    ] {
+        if on {
+            cmd.env_remove(var);
+        } else {
+            cmd.env(var, "1");
+        }
     }
     let out = cmd.output().expect("fig5 runs");
     assert!(out.status.success(), "fig5 failed: {}", String::from_utf8_lossy(&out.stderr));
@@ -65,20 +79,27 @@ fn strip_host_counters(summary: &[u8]) -> String {
         .collect()
 }
 
-/// Full-system cycle and trace identity across the 2×2 mode matrix: every
-/// simulated number fig5 prints (latencies, breakdowns) and every trace
-/// byte must be unaffected by the host-side caches.
+/// Full-system cycle and trace identity across the 2×2×2 mode matrix
+/// (plus a direct-threaded-dispatch-off run in the otherwise-full mode):
+/// every simulated number fig5 prints (latencies, breakdowns) and every
+/// trace byte must be unaffected by the host-side caches.
 #[test]
 fn fig5_identical_across_mode_matrix() {
-    let runs: Vec<(String, String, String)> = MODES
+    let mut runs: Vec<(String, String, String)> = MODES
         .iter()
-        .map(|&(fastpath, blocks)| {
-            let name = mode_name(fastpath, blocks);
-            let trace = scratch(&format!("f{}b{}.json", fastpath as u8, blocks as u8));
-            let stdout = run_fig5(fastpath, blocks, &trace);
+        .map(|&(fastpath, blocks, xblocks)| {
+            let name = mode_name(fastpath, blocks, xblocks);
+            let trace =
+                scratch(&format!("f{}b{}x{}.json", fastpath as u8, blocks as u8, xblocks as u8));
+            let stdout = run_fig5(fastpath, blocks, xblocks, true, &trace);
             (name, stdout, trace)
         })
         .collect();
+    {
+        let trace = scratch("nothreaded.json");
+        let stdout = run_fig5(true, true, true, false, &trace);
+        runs.push(("threaded=off".to_string(), stdout, trace));
+    }
     let (_, base_stdout, base_trace) = &runs[0];
     let base_chrome = std::fs::read(base_trace).expect("trace written");
     let base_folded = std::fs::read(format!("{base_trace}.folded")).expect("folded written");
@@ -131,9 +152,10 @@ struct Outcome {
 /// Runs `code` on a fresh machine (constructed *after* the cache switches
 /// are set) through `Cpu::run` — so the superblock engine engages when
 /// enabled — until a non-retired event or the cycle budget.
-fn run_program(code: &[u8], fastpath: bool, blocks: bool, budget: u64) -> Outcome {
+fn run_program(code: &[u8], fastpath: bool, blocks: bool, xblocks: bool, budget: u64) -> Outcome {
     simmem::set_fastpath(Some(fastpath));
     simmem::set_blocks(Some(blocks));
+    simmem::set_xblocks(Some(xblocks));
     let mut mem = Memory::new();
     let pt = Memory::GLOBAL_PT;
     mem.map_anon(pt, CODE, 2, PageFlags::RX, DomainTag(1));
@@ -148,6 +170,7 @@ fn run_program(code: &[u8], fastpath: bool, blocks: bool, budget: u64) -> Outcom
     let exit = cpu.run(&mut mem, &mut rev, &cost, budget);
     simmem::set_fastpath(None);
     simmem::set_blocks(None);
+    simmem::set_xblocks(None);
     Outcome {
         event: exit.event,
         cycles: cpu.cycles,
@@ -166,11 +189,16 @@ fn run_program(code: &[u8], fastpath: bool, blocks: bool, budget: u64) -> Outcom
 
 fn assert_identical(name: &str, code: &[u8]) {
     let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let base = run_program(code, false, false, 10_000_000);
-    for (fastpath, blocks) in MODES.into_iter().skip(1) {
-        let got = run_program(code, fastpath, blocks, 10_000_000);
-        assert_eq!(got, base, "{name} [{}]: diverged", mode_name(fastpath, blocks));
+    let base = run_program(code, false, false, false, 10_000_000);
+    for (fastpath, blocks, xblocks) in MODES.into_iter().skip(1) {
+        let got = run_program(code, fastpath, blocks, xblocks, 10_000_000);
+        assert_eq!(got, base, "{name} [{}]: diverged", mode_name(fastpath, blocks, xblocks));
     }
+    // Direct-threaded dispatch off, everything else on.
+    simmem::set_threaded(Some(false));
+    let got = run_program(code, true, true, true, 10_000_000);
+    simmem::set_threaded(None);
+    assert_eq!(got, base, "{name} [threaded=off]: diverged");
 }
 
 #[test]
@@ -185,6 +213,87 @@ fn loops_and_data_traffic_are_cycle_identical() {
     a.bne(T3, ZERO, "loop");
     a.push(Instr::Halt);
     assert_identical("st/ld loop", &a.finish().bytes);
+}
+
+/// A cross-domain ping-pong loop (APL-granted in both directions) plus
+/// data traffic: the crossing-descriptor cache and the memory-operand
+/// translation cache both engage in xblocks modes, and every simulated
+/// observable — cycles, crossings, APL-cache traffic folded into cycles,
+/// TLB counters — must match the no-cache baseline bit for bit.
+#[test]
+fn cross_domain_ping_pong_is_identical() {
+    use codoms::apl::{Apl, Perm};
+    const FAR: u64 = 0x40_000;
+    // Domain 1 at CODE: store/load on DATA, then jump into domain 2.
+    let mut a = Asm::new();
+    a.li(T0, DATA);
+    a.push(Instr::St { rs1: T0, rs2: T3, imm: 0 });
+    a.push(Instr::Ld { rd: A0, rs1: T0, imm: 0 });
+    a.push(Instr::Addi { rd: T3, rs1: T3, imm: 1 });
+    let here = a.here();
+    a.push(Instr::Jal { rd: ZERO, imm: (FAR - (CODE + here)) as i32 });
+    let caller = a.finish().bytes;
+    // Domain 2 at FAR: bounded counter, then either jump back or halt.
+    let mut a = Asm::new();
+    a.push(Instr::Addi { rd: T4, rs1: T4, imm: 1 });
+    a.li(T5, 500);
+    a.beq(T4, T5, "done");
+    let here = a.here();
+    a.push(Instr::Jal { rd: ZERO, imm: (CODE as i64 - (FAR + here) as i64) as i32 });
+    a.label("done");
+    a.push(Instr::Halt);
+    let callee = a.finish().bytes;
+
+    let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let run = |fastpath: bool, blocks: bool, xblocks: bool| {
+        simmem::set_fastpath(Some(fastpath));
+        simmem::set_blocks(Some(blocks));
+        simmem::set_xblocks(Some(xblocks));
+        let mut mem = Memory::new();
+        let pt = Memory::GLOBAL_PT;
+        mem.map_anon(pt, CODE, 1, PageFlags::RX, DomainTag(1));
+        mem.kwrite(pt, CODE, &caller).unwrap();
+        mem.map_anon(pt, FAR, 1, PageFlags::RX, DomainTag(2));
+        mem.kwrite(pt, FAR, &callee).unwrap();
+        mem.map_anon(pt, DATA, 1, PageFlags::RW, DomainTag(1));
+        let mut cpu = Cpu::new(0);
+        cpu.pc = CODE;
+        cpu.cur_dom = DomainTag(1);
+        cpu.thread = 1;
+        let mut to2 = Apl::new();
+        to2.set(DomainTag(2), Perm::Read);
+        cpu.apl_cache.fill(DomainTag(1), to2);
+        let mut back = Apl::new();
+        back.set(DomainTag(1), Perm::Read);
+        cpu.apl_cache.fill(DomainTag(2), back);
+        let mut rev = RevocationTable::new();
+        let cost = CostModel::default();
+        let exit = cpu.run(&mut mem, &mut rev, &cost, 50_000_000);
+        simmem::set_fastpath(None);
+        simmem::set_blocks(None);
+        simmem::set_xblocks(None);
+        (
+            exit.event,
+            cpu.cycles,
+            cpu.retired,
+            cpu.domain_crossings,
+            cpu.reg(A0),
+            cpu.itlb.stats().hits,
+            cpu.dtlb.stats().hits,
+        )
+    };
+    let base = run(false, false, false);
+    assert_eq!(base.0, StepEvent::Halt, "workload must finish");
+    assert!(base.3 >= 999, "must actually cross domains: {base:?}");
+    for (fastpath, blocks, xblocks) in MODES.into_iter().skip(1) {
+        let got = run(fastpath, blocks, xblocks);
+        assert_eq!(
+            got,
+            base,
+            "cross-domain loop diverged [{}]",
+            mode_name(fastpath, blocks, xblocks)
+        );
+    }
 }
 
 #[test]
@@ -203,10 +312,15 @@ fn deadline_boundaries_are_identical() {
     let code = a.finish().bytes;
     let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     for budget in [1u64, 7, 64, 65, 66, 100, 1000, 4999, 5001] {
-        let base = run_program(&code, false, false, budget);
-        for (fastpath, blocks) in MODES.into_iter().skip(1) {
-            let got = run_program(&code, fastpath, blocks, budget);
-            assert_eq!(got, base, "deadline {budget} [{}]: diverged", mode_name(fastpath, blocks));
+        let base = run_program(&code, false, false, false, budget);
+        for (fastpath, blocks, xblocks) in MODES.into_iter().skip(1) {
+            let got = run_program(&code, fastpath, blocks, xblocks, budget);
+            assert_eq!(
+                got,
+                base,
+                "deadline {budget} [{}]: diverged",
+                mode_name(fastpath, blocks, xblocks)
+            );
         }
     }
 }
@@ -265,14 +379,14 @@ fn miss_path_cycle_charges_are_unchanged() {
     let cost = CostModel::default();
     let expect = cost.tlb_miss + 2 * cost.base;
     let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    for (fastpath, blocks) in MODES {
-        let got = run_program(&code, fastpath, blocks, 10_000_000);
+    for (fastpath, blocks, xblocks) in MODES {
+        let got = run_program(&code, fastpath, blocks, xblocks, 10_000_000);
         assert_eq!(got.event, StepEvent::Halt);
         assert_eq!(
             got.cycles,
             expect,
             "cold-page miss charge changed [{}]",
-            mode_name(fastpath, blocks)
+            mode_name(fastpath, blocks, xblocks)
         );
     }
 }
@@ -303,9 +417,10 @@ fn self_modifying_code_is_identical() {
     let bytes = a.finish().bytes;
     let _g = FASTPATH_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // The page must be writable as well as executable for the self-patch.
-    let run = |fastpath: bool, blocks: bool| {
+    let run = |fastpath: bool, blocks: bool, xblocks: bool| {
         simmem::set_fastpath(Some(fastpath));
         simmem::set_blocks(Some(blocks));
+        simmem::set_xblocks(Some(xblocks));
         let mut mem = Memory::new();
         let pt = Memory::GLOBAL_PT;
         mem.map_anon(pt, CODE, 2, PageFlags::RWX, DomainTag(1));
@@ -319,12 +434,18 @@ fn self_modifying_code_is_identical() {
         let exit = cpu.run(&mut mem, &mut rev, &cost, 10_000_000);
         simmem::set_fastpath(None);
         simmem::set_blocks(None);
+        simmem::set_xblocks(None);
         (exit.event, cpu.cycles, cpu.retired, cpu.reg(A0))
     };
-    let base = run(false, false);
-    for (fastpath, blocks) in MODES.into_iter().skip(1) {
-        let got = run(fastpath, blocks);
-        assert_eq!(got, base, "self-modifying program diverged [{}]", mode_name(fastpath, blocks));
+    let base = run(false, false, false);
+    for (fastpath, blocks, xblocks) in MODES.into_iter().skip(1) {
+        let got = run(fastpath, blocks, xblocks);
+        assert_eq!(
+            got,
+            base,
+            "self-modifying program diverged [{}]",
+            mode_name(fastpath, blocks, xblocks)
+        );
     }
     assert_eq!(base.0, StepEvent::Halt);
     assert_eq!(base.3, 222, "patched instruction must execute");

@@ -275,3 +275,38 @@ fn n4_traces_identical_with_and_without_block_engine() {
     assert_eq!(interp.2, blocks.2, "folded trace diverged");
     assert_eq!(interp.3, blocks.3, "summary (sans host.*) diverged");
 }
+
+/// Same identity for the third-generation engine layers: the N=4 machine's
+/// fingerprint is byte-identical with the crossing-descriptor/translation
+/// caches (xblocks) forced on and off, for every `SMP_HOST_THREADS`.
+#[test]
+fn n4_identical_with_and_without_xblocks() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simmem::set_blocks(Some(true));
+    simmem::set_xblocks(Some(false));
+    let reference = run_machine(4, 1, 10_000, false);
+    simmem::set_xblocks(Some(true));
+    for threads in [1usize, 2, 8] {
+        let got = run_machine(4, threads, 10_000, false);
+        assert_eq!(reference, got, "xblocks changed SMP outcome (threads={threads})");
+    }
+    simmem::set_blocks(None);
+    simmem::set_xblocks(None);
+}
+
+/// And for direct-threaded dispatch: handler-table execution of pure
+/// instructions must not perturb the fingerprint either.
+#[test]
+fn n4_identical_with_and_without_threaded_dispatch() {
+    let _g = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simmem::set_blocks(Some(true));
+    simmem::set_threaded(Some(false));
+    let reference = run_machine(4, 1, 10_000, false);
+    simmem::set_threaded(Some(true));
+    for threads in [1usize, 2, 8] {
+        let got = run_machine(4, threads, 10_000, false);
+        assert_eq!(reference, got, "threaded dispatch changed SMP outcome (threads={threads})");
+    }
+    simmem::set_blocks(None);
+    simmem::set_threaded(None);
+}
